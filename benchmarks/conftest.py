@@ -1,0 +1,20 @@
+"""Shared helpers for the figure-regenerating benchmarks.
+
+Each benchmark runs its experiment exactly once under pytest-benchmark
+(``pedantic`` with one round — these are minutes-long simulations, not
+microbenchmarks), prints the paper-style rendering, and asserts the
+qualitative *shape* the paper reports.  Absolute numbers are not asserted:
+the substrate is a simulator, not the authors' EC2 testbed.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run ``fn(**kwargs)`` once under the benchmark fixture and return
+    its result."""
+    return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+
+
+def emit(rendered: str) -> None:
+    print("\n" + rendered + "\n")

@@ -1,0 +1,47 @@
+"""Figure 2: the impact of graph repartitioning (TPC-C, 4 partitions).
+
+Paper shape: with random initial placement, throughput is low and nearly
+every transaction is multi-partition; once the oracle computes a plan,
+objects relocate, the multi-partition rate collapses, and throughput
+rises several-fold.
+"""
+
+from repro.experiments import figures, reporting
+from repro.experiments.harness import steady_rate
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_fig2_repartitioning(benchmark):
+    result = run_once(
+        benchmark, figures.fig2_repartitioning, duration=60.0, seed=1
+    )
+    emit(reporting.render_fig2(result))
+
+    assert result["plan_times"], "the oracle never repartitioned"
+    first_plan = result["plan_times"][0]
+    duration = result["duration"]
+    assert first_plan < duration / 2, "plan landed too late to observe recovery"
+
+    # Throughput after convergence beats the random-placement phase.
+    before = steady_rate(result["throughput"], 0.0, first_plan)
+    after = steady_rate(result["throughput"], first_plan + 5.0, duration)
+    assert after > 1.3 * before, (before, after)
+
+    # Multi-partition fraction collapses (paper: ~100% -> ~few %);
+    # measured over the converged tail (last quarter of the run).
+    frac_before = steady_rate(
+        result["multi_partition_fraction"], 0.0, first_plan
+    )
+    frac_after = steady_rate(
+        result["multi_partition_fraction"], duration * 0.75, duration
+    )
+    assert frac_before > 0.4, frac_before
+    assert frac_after < frac_before / 2.5, (frac_before, frac_after)
+
+    # Object exchange traffic dies down after relocation.
+    objects_before = steady_rate(result["objects_exchanged"], 0.0, first_plan)
+    objects_after = steady_rate(
+        result["objects_exchanged"], first_plan + 5.0, duration
+    )
+    assert objects_after < objects_before / 2

@@ -1,0 +1,35 @@
+"""Figure 3: TPC-C scalability — peak throughput vs partitions.
+
+Paper shape: both DynaStar and S-SMR* scale with the number of
+partitions (one warehouse per partition, state grows with partitions);
+DynaStar — starting from a random placement with no workload knowledge —
+rivals the idealized S-SMR* after repartitioning.
+"""
+
+from repro.experiments import figures, reporting
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_fig3_tpcc_scalability(benchmark):
+    result = run_once(
+        benchmark,
+        figures.fig3_tpcc_scalability,
+        partition_counts=(1, 2, 4),
+        duration=30.0,
+        seed=1,
+    )
+    emit(reporting.render_fig3(result))
+    rows = result["rows"]
+
+    # Scalability: throughput grows with partitions for both systems.
+    for key in ("dynastar_tput", "ssmr_star_tput"):
+        values = [row[key] for row in rows]
+        assert values == sorted(values), f"{key} not monotone: {values}"
+        # 4 partitions at least double 1 partition (paper: near-linear)
+        assert values[-1] > 2.0 * values[0], values
+
+    # DynaStar rivals S-SMR* (within 40% at every scale after convergence).
+    for row in rows:
+        ratio = row["dynastar_tput"] / row["ssmr_star_tput"]
+        assert ratio > 0.6, row

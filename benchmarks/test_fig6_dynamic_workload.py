@@ -1,0 +1,61 @@
+"""Figure 6: dynamic workload — a celebrity joins mid-run.
+
+Paper shape: DynaStar starts worse than S-SMR* (random vs optimized
+placement), overtakes once it repartitions; the celebrity event degrades
+both, and DynaStar recovers via another repartitioning while the static
+S-SMR* cannot adapt.
+"""
+
+from repro.experiments import figures, reporting
+from repro.experiments.harness import steady_rate
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_fig6_dynamic_workload(benchmark):
+    result = run_once(
+        benchmark,
+        figures.fig6_dynamic_workload,
+        n_partitions=4,
+        n_users=800,
+        duration=90.0,
+        event_time=45.0,
+        clients=12,
+        repartition_threshold=25000,
+        seed=1,
+    )
+    emit(reporting.render_fig6(result))
+    event = result["event_time"]
+    duration = result["duration"]
+    dyna = result["dynastar"]
+
+    # DynaStar repartitioned at least once before the event.
+    assert dyna["plan_times"], "DynaStar never repartitioned"
+    first_plan = dyna["plan_times"][0]
+    assert first_plan < event
+
+    # The cold random placement pays a clearly higher multi-partition
+    # rate than the converged phase (throughput is a weak signal here:
+    # Chirper timeline reads are single-partition under ANY placement).
+    cold_multi = steady_rate(dyna["multi_fraction"], 0.0, first_plan)
+    converged_multi = steady_rate(
+        dyna["multi_fraction"], first_plan + 5.0, event
+    )
+    assert converged_multi < cold_multi, (cold_multi, converged_multi)
+    converged = steady_rate(dyna["throughput"], first_plan + 5.0, event)
+
+    # After the event + adaptation, DynaStar ends healthy: its final
+    # throughput stays within range of its pre-event converged level.
+    tail = steady_rate(dyna["throughput"], duration - 20.0, duration)
+    assert tail > 0.5 * converged, (converged, tail)
+
+    # S-SMR* cannot adapt: its multi-partition rate after the event stays
+    # elevated relative to DynaStar's adapted tail.
+    ssmr = result["ssmr_star"]
+    dyna_tail_multi = steady_rate(dyna["multi_fraction"], duration - 20.0, duration)
+    ssmr_tail_multi = steady_rate(ssmr["multi_fraction"], duration - 20.0, duration)
+    assert ssmr["plan_times"] == []  # static system never repartitions
+    assert dyna_tail_multi <= ssmr_tail_multi * 1.5, (
+        dyna_tail_multi,
+        ssmr_tail_multi,
+    )

@@ -1,0 +1,37 @@
+"""Figure 7: partitioner CPU time and memory vs graph size.
+
+Paper shape: METIS scales (near-)linearly in both compute time and
+memory up to 10 M vertices.  We verify the same linear shape for the
+multilevel implementation — superlinear blowup would disqualify the
+oracle design.
+"""
+
+from repro.experiments import figures, reporting
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_fig7_partitioner_scaling(benchmark):
+    result = run_once(
+        benchmark,
+        figures.fig7_partitioner_scaling,
+        sizes=(10_000, 30_000, 90_000),
+        k=8,
+        seed=1,
+    )
+    emit(reporting.render_fig7(result))
+    rows = result["rows"]
+
+    # Time and memory both grow with size...
+    seconds = [row["seconds"] for row in rows]
+    memory = [row["peak_mb"] for row in rows]
+    assert seconds == sorted(seconds)
+    assert memory == sorted(memory)
+
+    # ...and sublinearly relative to a quadratic: 9x vertices should cost
+    # well under 9^2 = 81x time (linear would be ~9x; allow noise to 30x).
+    size_ratio = rows[-1]["vertices"] / rows[0]["vertices"]
+    time_ratio = seconds[-1] / max(seconds[0], 1e-9)
+    mem_ratio = memory[-1] / max(memory[0], 1e-9)
+    assert time_ratio < size_ratio * 3.5, (size_ratio, time_ratio)
+    assert mem_ratio < size_ratio * 3.5, (size_ratio, mem_ratio)

@@ -1,0 +1,42 @@
+"""Figure 8: oracle query throughput over time.
+
+Paper shape: once the clients' caches are warm the oracle sees ~zero
+queries.  A repartitioning invalidates cached locations, producing a
+query spike that decays rapidly back to ~zero — evidence the oracle is
+not a steady-state bottleneck.
+"""
+
+from repro.experiments import figures, reporting
+from repro.experiments.harness import steady_rate
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_fig8_oracle_load(benchmark):
+    result = run_once(
+        benchmark,
+        figures.fig8_oracle_load,
+        n_partitions=4,
+        n_users=800,
+        duration=120.0,
+        repartition_time=60.0,
+        clients=12,
+        seed=1,
+    )
+    emit(reporting.render_fig8(result))
+    queries = result["oracle_queries"]
+    t_plan = result["repartition_time"]
+    duration = result["duration"]
+
+    # Warm phase just before the plan: oracle nearly idle.
+    warm = steady_rate(queries, t_plan - 20.0, t_plan)
+    # Spike window right after the plan.
+    spike = max(
+        (v for t, v in queries if t_plan <= t < t_plan + 15.0), default=0.0
+    )
+    # Decayed tail.
+    tail = steady_rate(queries, duration - 20.0, duration)
+
+    assert spike > 4 * max(warm, 1.0), (warm, spike)
+    assert tail < spike / 4, (spike, tail)
+    assert result["plan_times"], "manual repartition never applied"

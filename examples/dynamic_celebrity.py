@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The Fig 6 scenario as a runnable story: a celebrity joins mid-run.
+
+Starts Chirper on DynaStar, lets the system converge, then introduces a
+new celebrity user at t=60 s.  Users flock to follow them, the workload
+graph changes shape, and DynaStar repartitions on-line to adapt — watch
+the multi-partition command rate rise after the event and fall again
+after the next repartitioning.
+
+Run:  python examples/dynamic_celebrity.py
+"""
+
+from repro.core import DynaStarSystem, SystemConfig
+from repro.sim import ConstantLatency
+from repro.workloads.social import (
+    CelebrityEvent,
+    ChirperApp,
+    ChirperWorkload,
+    generate_social_graph,
+)
+
+DURATION = 120.0
+EVENT_TIME = 60.0
+
+
+def window_rate(series, t0, t1):
+    window = [v for t, v in series if t0 <= t < t1]
+    return sum(window) / max(1, len(window))
+
+
+def main() -> None:
+    graph = generate_social_graph(n_users=600, avg_follows=8, seed=13)
+    app = ChirperApp(graph)
+    system = DynaStarSystem(
+        app,
+        SystemConfig(
+            n_partitions=4,
+            seed=4,
+            latency=ConstantLatency(0.0005),
+            placement="random",
+            repartition_enabled=True,
+            repartition_threshold=5000,
+        ),
+    )
+    celebrity = graph.num_users + 7
+    event = CelebrityEvent(
+        time=EVENT_TIME, celebrity=celebrity, follow_prob=0.4,
+        celebrity_post_prob=0.25,
+    )
+    workload = ChirperWorkload(graph, mix="mix", seed=21, event=event)
+    for _ in range(12):
+        system.add_client(workload, stop_at=DURATION)
+    system.run(until=DURATION)
+
+    completed = system.monitor.series("completed").buckets()
+    plans = [t for t, v in system.monitor.series("plans").buckets() if v > 0]
+    followers = graph.in_degree(celebrity)
+
+    print(f"celebrity user {celebrity} joined at t={EVENT_TIME:.0f}s and "
+          f"gained {followers} followers by t={DURATION:.0f}s")
+    print(f"plans applied at t = {[f'{t:.0f}s' for t in plans]}")
+    phases = [
+        ("cold start (random placement)", 0, min(plans, default=20)),
+        ("converged, pre-celebrity", min(plans, default=20) + 5, EVENT_TIME),
+        ("celebrity chaos", EVENT_TIME, EVENT_TIME + 30),
+        ("re-adapted", EVENT_TIME + 30, DURATION),
+    ]
+    print(f"\n{'phase':<34} {'throughput':>12}")
+    print("-" * 48)
+    for name, t0, t1 in phases:
+        if t1 > t0:
+            print(f"{name:<34} {window_rate(completed, t0, t1):>10.1f}/s")
+    print(f"\ntotal: {system.total_completed()} commands, "
+          f"{system.monitor.counters().get('client_retries', 0)} cache-staleness retries, "
+          f"{len(plans)} repartitionings")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""TPC-C on DynaStar vs the baselines.
+
+Runs the same TPC-C workload (4 warehouses, 4 partitions) under three
+systems and compares throughput and cross-partition traffic:
+
+* DynaStar        — random initial placement, on-line repartitioning;
+* S-SMR*          — static warehouse-aligned placement (needs a-priori
+                    workload knowledge: the idealized comparator);
+* S-SMR (random)  — static random placement: what static partitioning
+                    costs you when you guess wrong.
+
+Run:  python examples/tpcc_benchmark.py
+"""
+
+from repro.baselines import SSMRSystem
+from repro.core import DynaStarSystem, SystemConfig
+from repro.experiments.harness import warehouse_aligned_placement
+from repro.sim import ConstantLatency
+from repro.workloads.tpcc import TPCCApp, TPCCConfig, TPCCWorkload
+
+DURATION = 60.0
+CLIENTS = 24
+
+
+def run(mode: str, placement):
+    tpcc = TPCCConfig(n_warehouses=4, customers_per_district=10, n_items=60)
+    app = TPCCApp(tpcc)
+    config = SystemConfig(
+        n_partitions=4,
+        seed=5,
+        latency=ConstantLatency(0.0005),
+        placement=placement,
+        repartition_enabled=(mode == "dynastar"),
+        repartition_threshold=4000,
+        service_time=0.002,
+        mode="ssmr" if mode.startswith("ssmr") else "dynastar",
+    )
+    if mode.startswith("ssmr"):
+        system = SSMRSystem(app, config)
+    else:
+        system = DynaStarSystem(app, config)
+    workload = TPCCWorkload(tpcc, seed=9)
+    for _ in range(CLIENTS):
+        system.add_client(workload, stop_at=DURATION)
+    system.run(until=DURATION)
+
+    counters = system.monitor.counters()
+    completed = counters.get("commands_completed", 0)
+    # steady state: second half of the run
+    series = system.monitor.series("completed").buckets()
+    steady = [v for t, v in series if t >= DURATION / 2]
+    return {
+        "tput": sum(steady) / max(1, len(steady)),
+        "completed": completed,
+        "multi": counters.get("multi_partition_commands", 0),
+        "objects": counters.get("objects_exchanged", 0),
+        "aborts": counters.get("commands_failed", 0),
+    }
+
+
+def main() -> None:
+    rows = [
+        ("DynaStar (random start)", run("dynastar", "random")),
+        ("S-SMR* (aligned)", run("ssmr_star", warehouse_aligned_placement(
+            TPCCConfig(n_warehouses=4, customers_per_district=10, n_items=60)))),
+        ("S-SMR (random)", run("ssmr_random", "random")),
+    ]
+    print(f"{'system':<26} {'steady tput':>12} {'completed':>10} "
+          f"{'multi-part':>10} {'objects':>9} {'aborts':>7}")
+    print("-" * 80)
+    for name, r in rows:
+        print(f"{name:<26} {r['tput']:>10.1f}/s {r['completed']:>10} "
+              f"{r['multi']:>10} {r['objects']:>9} {r['aborts']:>7}")
+    print("\nDynaStar converges to S-SMR*-like throughput without knowing the")
+    print("workload in advance; random static placement pays a permanent")
+    print("multi-partition tax (the paper's core claim).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""DynaStar: optimized dynamic partitioning for scalable state machine
+replication — a full reproduction of Le et al. (ICDCS 2019).
+
+Public API tour:
+
+* :mod:`repro.core` — the DynaStar system (oracle, servers, clients).
+* :mod:`repro.baselines` — S-SMR / S-SMR* / DS-SMR comparators.
+* :mod:`repro.partitioning` — the multilevel graph partitioner.
+* :mod:`repro.multicast` — genuine atomic multicast (BaseCast).
+* :mod:`repro.consensus` — Multi-Paxos replica groups.
+* :mod:`repro.workloads` — Chirper social network and TPC-C.
+* :mod:`repro.experiments` — the harness regenerating every paper figure.
+* :mod:`repro.sim` — the deterministic discrete-event kernel underneath.
+"""
+
+from repro.core import DynaStarSystem, SystemConfig
+from repro.smr import Command, KeyValueApp
+
+__version__ = "1.0.0"
+
+__all__ = ["DynaStarSystem", "SystemConfig", "Command", "KeyValueApp", "__version__"]

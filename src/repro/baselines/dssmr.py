@@ -1,0 +1,25 @@
+"""DS-SMR: dynamic SMR with naive permanent migration.
+
+The DS-SMR execution model is implemented inside the core server and
+oracle (``mode="dssmr"``); this module provides the convenience system
+class.  On every multi-partition command the involved nodes migrate
+permanently to the target partition — with skewed, non-perfectly-
+partitionable workloads the same nodes ping-pong between partitions,
+which is the pathology DynaStar's workload-graph partitioning avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.system import DynaStarSystem, SystemConfig
+
+
+class DSSMRSystem(DynaStarSystem):
+    """A deployment running the DS-SMR protocol."""
+
+    def __init__(self, app, config: Optional[SystemConfig] = None, monitor=None):
+        config = config or SystemConfig()
+        config.mode = "dssmr"
+        config.repartition_enabled = False
+        super().__init__(app, config, monitor)

@@ -1,0 +1,127 @@
+"""Replica-group construction helpers.
+
+A :class:`PaxosGroup` wires together the acceptors and replicas of one
+group (one partition, or the oracle) on a network, mirroring the paper's
+deployment of 2 replicas + 3 acceptors per partition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.network import Network
+from repro.consensus.messages import Submit
+from repro.consensus.paxos import Acceptor, PaxosReplica, ReplicaConfig
+
+
+@dataclass
+class GroupConfig:
+    """Shape and tuning of a replica group."""
+
+    n_replicas: int = 2
+    n_acceptors: int = 3
+    replica: ReplicaConfig = field(default_factory=ReplicaConfig)
+
+
+ReplicaFactory = Callable[..., PaxosReplica]
+
+
+class PaxosGroup:
+    """One replicated group: its acceptors, replicas, and submission API.
+
+    ``replica_factory`` lets higher layers (the atomic multicast, DynaStar
+    servers) substitute a :class:`PaxosReplica` subclass; it receives the
+    same keyword arguments as the base constructor.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        config: Optional[GroupConfig] = None,
+        replica_factory: Optional[ReplicaFactory] = None,
+        on_deliver: Optional[Callable[[Any], None]] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.name = name
+        self.network = network
+        self.config = config or GroupConfig()
+        rng = rng or random.Random(hash(name) & 0xFFFF)
+
+        self.acceptor_names = [
+            f"{name}/acc{i}" for i in range(self.config.n_acceptors)
+        ]
+        self.replica_names = [
+            f"{name}/rep{i}" for i in range(self.config.n_replicas)
+        ]
+
+        self.acceptors = [
+            network.register(Acceptor(acc_name)) for acc_name in self.acceptor_names
+        ]
+
+        factory = replica_factory or PaxosReplica
+        self.replicas = []
+        for i, rep_name in enumerate(self.replica_names):
+            replica = factory(
+                name=rep_name,
+                group=name,
+                index=i,
+                replicas=self.replica_names,
+                acceptors=self.acceptor_names,
+                config=self.config.replica,
+                on_deliver=on_deliver,
+                rng=random.Random(rng.getrandbits(64)),
+            )
+            network.register(replica)
+            self.replicas.append(replica)
+
+    def start(self) -> None:
+        """Arm all replica timers; call once the simulation is wired up."""
+        for replica in self.replicas:
+            replica.start()
+
+    def submit(self, value: Any) -> None:
+        """Inject ``value`` for ordering (test convenience; production code
+        paths send :class:`Submit` messages through the network instead)."""
+        for replica in self.replicas:
+            if not replica.crashed:
+                replica.submit(value)
+                return
+
+    def submit_via(self, sender, value: Any) -> None:
+        """Have actor ``sender`` submit ``value`` by messaging every replica
+        (uid-deduplication makes this safe and leader-crash tolerant)."""
+        sender.send_all(self.replica_names, Submit(value))
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def leader(self) -> Optional[PaxosReplica]:
+        for replica in self.replicas:
+            if replica.is_leader and not replica.crashed:
+                return replica
+        return None
+
+    def delivered_log(self, replica_index: int = 0) -> list:
+        """Ordered values a replica has delivered so far (test helper)."""
+        replica = self.replicas[replica_index]
+        out = []
+        from repro.consensus.paxos import Batch
+        from repro.consensus.messages import NoOp
+
+        seen = set()
+        for instance in range(replica.next_deliver):
+            batch = replica.decided[instance]
+            values = batch.values if isinstance(batch, Batch) else (batch,)
+            for value in values:
+                if isinstance(value, NoOp):
+                    continue
+                uid = getattr(value, "uid", None)
+                if uid is not None:
+                    if uid in seen:
+                        continue
+                    seen.add(uid)
+                out.append(value)
+        return out

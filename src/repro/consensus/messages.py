@@ -1,0 +1,97 @@
+"""Multi-Paxos message types.
+
+Ballots are plain integers; the leader for ballot ``b`` is replica
+``b % n_replicas`` (round-robin), which gives deterministic, livelock-free
+leader succession under partial synchrony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class Submit:
+    """Ask a group to order ``value``.  ``value.uid`` must be unique."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class NoOp:
+    """Filler value used by a new leader to close gap instances."""
+
+    uid: str = "noop"
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase 1a: new leader claims ``ballot`` for all instances >= low."""
+
+    ballot: int
+    low: int
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase 1b: acceptor's promise plus previously accepted values.
+
+    ``accepted`` maps instance -> (vballot, value) for every instance >= low
+    the acceptor has accepted a value in.
+    """
+
+    ballot: int
+    accepted: dict
+
+    def __hash__(self):  # pragma: no cover - only identity needed
+        return id(self)
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase 2a: leader asks acceptors to accept ``value`` in ``instance``."""
+
+    ballot: int
+    instance: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase 2b: acceptor accepted (ballot, instance, value)."""
+
+    ballot: int
+    instance: int
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Learner notification: ``value`` was chosen in ``instance``."""
+
+    instance: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Leader liveness beacon carrying the highest decided instance."""
+
+    ballot: int
+    max_decided: int
+
+
+@dataclass(frozen=True)
+class LearnRequest:
+    """Ask a peer replica to resend decisions for instances in [low, high]."""
+
+    low: int
+    high: int
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Acceptor rejection telling the proposer about a higher ballot."""
+
+    ballot: int
+    instance: Optional[int] = None

@@ -1,0 +1,405 @@
+"""Multi-Paxos acceptors and replicas.
+
+Topology per group (matching the paper's libpaxos3 deployment): ``n``
+replica actors that act as proposer/learner and host the application
+state machine, plus ``k`` acceptor actors.  The leader for ballot ``b``
+is replica ``b % n``; ballot 0 needs no phase 1 because acceptors start
+with an implicit promise at ballot 0 and only replica 0 leads ballot 0.
+
+Values are proposed in *batches* (libpaxos-style) to amortize quorum
+round-trips under load; batches are unpacked in instance order at
+delivery, with per-value ``uid`` deduplication so re-proposals after a
+leader change deliver exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.sim.actors import Actor
+from repro.consensus.messages import (
+    Accept,
+    Accepted,
+    Decision,
+    Heartbeat,
+    LearnRequest,
+    Nack,
+    NoOp,
+    Prepare,
+    Promise,
+    Submit,
+)
+
+
+@dataclass(frozen=True)
+class Batch:
+    """An ordered batch of application values, the unit of consensus."""
+
+    values: tuple
+
+
+@dataclass
+class ReplicaConfig:
+    """Tuning knobs for a Paxos replica."""
+
+    heartbeat_period: float = 0.1
+    leader_timeout: float = 0.5
+    batch_delay: float = 0.0005
+    max_batch: int = 64
+    window: int = 32
+    catchup_period: float = 0.2
+
+
+class Acceptor(Actor):
+    """A Paxos acceptor: one promise ballot for all instances, per-instance
+    accepted (ballot, value) pairs."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.promised = 0
+        self.accepted: dict[int, tuple[int, Any]] = {}
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, Prepare):
+            self._on_prepare(sender, message)
+        elif isinstance(message, Accept):
+            self._on_accept(sender, message)
+
+    def _on_prepare(self, sender: str, msg: Prepare) -> None:
+        if msg.ballot >= self.promised:
+            self.promised = msg.ballot
+            accepted = {i: va for i, va in self.accepted.items() if i >= msg.low}
+            self.send(sender, Promise(msg.ballot, accepted))
+        else:
+            self.send(sender, Nack(self.promised))
+
+    def _on_accept(self, sender: str, msg: Accept) -> None:
+        if msg.ballot >= self.promised:
+            self.promised = msg.ballot
+            self.accepted[msg.instance] = (msg.ballot, msg.value)
+            self.send(sender, Accepted(msg.ballot, msg.instance))
+        else:
+            self.send(sender, Nack(self.promised, msg.instance))
+
+
+class PaxosReplica(Actor):
+    """Proposer + learner + application host.
+
+    Subclasses (or callers via ``on_deliver``) receive every decided value
+    exactly once, in log order, by overriding :meth:`deliver_value`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        group: str,
+        index: int,
+        replicas: list[str],
+        acceptors: list[str],
+        config: Optional[ReplicaConfig] = None,
+        on_deliver: Optional[Callable[[Any], None]] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(name)
+        self.group = group
+        self.index = index
+        self.replicas = list(replicas)
+        self.acceptors = list(acceptors)
+        self.config = config or ReplicaConfig()
+        self.on_deliver = on_deliver
+        self.rng = rng or random.Random(index)
+
+        # Ballot / leadership
+        self.ballot = 0
+        self.phase1_done = index == 0  # ballot 0 leader skips phase 1
+        self._promises: dict[str, Promise] = {}
+
+        # Proposer state
+        self.next_instance = 0
+        self.proposals: dict[int, tuple[int, Any]] = {}
+        self._proposal_time: dict[int, float] = {}
+        self._accept_votes: dict[int, set[str]] = {}
+        self.pending: deque = deque()
+        self._pending_uids: set = set()
+        self.proposed_uids: set = set()
+        self._batch_timer = None
+
+        # Learner state
+        self.decided: dict[int, Any] = {}
+        self.next_deliver = 0
+        self.delivered_uids: set = set()
+        self._peer_max_decided = -1
+
+        # Failure detection
+        self._last_leader_contact = 0.0
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm heartbeat / failure-detection timers.  Call after the actor
+        is registered with the network."""
+        if self._started:
+            return
+        self._started = True
+        self._last_leader_contact = self.now
+        self.set_periodic_timer(self.config.heartbeat_period, self._heartbeat_tick)
+        jitter = self.rng.uniform(0, 0.1 * self.config.leader_timeout)
+        self.set_periodic_timer(
+            self.config.leader_timeout + jitter, self._leader_check_tick
+        )
+        self.set_periodic_timer(self.config.catchup_period, self._catchup_tick)
+
+    # -- leadership helpers ---------------------------------------------------
+
+    def leader_of(self, ballot: int) -> str:
+        return self.replicas[ballot % len(self.replicas)]
+
+    @property
+    def is_leader(self) -> bool:
+        return self.leader_of(self.ballot) == self.name and self.phase1_done
+
+    def _quorum(self) -> int:
+        return len(self.acceptors) // 2 + 1
+
+    @property
+    def max_decided(self) -> int:
+        return max(self.decided) if self.decided else -1
+
+    # -- message dispatch -----------------------------------------------------
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, Submit):
+            self.submit(message.value)
+        elif isinstance(message, Promise):
+            self._on_promise(sender, message)
+        elif isinstance(message, Accepted):
+            self._on_accepted(sender, message)
+        elif isinstance(message, Decision):
+            self._on_decision(message.instance, message.value)
+        elif isinstance(message, Nack):
+            self._on_nack(message)
+        elif isinstance(message, Heartbeat):
+            self._on_heartbeat(sender, message)
+        elif isinstance(message, LearnRequest):
+            self._on_learn_request(sender, message)
+        else:
+            self.on_other_message(sender, message)
+
+    def on_other_message(self, sender: str, message: Any) -> None:
+        """Hook for subclasses layering protocols on top of the replica."""
+
+    # -- submission / proposing -------------------------------------------------
+
+    def submit(self, value: Any) -> None:
+        """Enqueue ``value`` for ordering.  Any replica accepts submissions;
+        only the leader proposes, others buffer in case they take over."""
+        uid = getattr(value, "uid", None)
+        if uid is not None and (
+            uid in self.delivered_uids
+            or uid in self._pending_uids
+            or (self.is_leader and uid in self.proposed_uids)
+        ):
+            return
+        self.pending.append(value)
+        if uid is not None:
+            self._pending_uids.add(uid)
+        if self.is_leader:
+            self._schedule_flush()
+
+    def _schedule_flush(self) -> None:
+        if len(self.pending) >= self.config.max_batch:
+            self._flush_pending()
+        elif self._batch_timer is None or not self._batch_timer.active:
+            self._batch_timer = self.set_timer(
+                self.config.batch_delay, self._flush_pending
+            )
+
+    def _flush_pending(self) -> None:
+        if not self.is_leader:
+            return
+        while self.pending and len(self.proposals) < self.config.window:
+            batch_values = []
+            while self.pending and len(batch_values) < self.config.max_batch:
+                value = self.pending.popleft()
+                uid = getattr(value, "uid", None)
+                if uid is not None:
+                    self._pending_uids.discard(uid)
+                    if uid in self.proposed_uids or uid in self.delivered_uids:
+                        continue
+                    self.proposed_uids.add(uid)
+                batch_values.append(value)
+            if not batch_values:
+                continue
+            self._propose(self.next_instance, Batch(tuple(batch_values)))
+            self.next_instance += 1
+
+    def _propose(self, instance: int, value: Any) -> None:
+        self.proposals[instance] = (self.ballot, value)
+        self._proposal_time[instance] = self.now
+        self._accept_votes[instance] = set()
+        for acceptor in self.acceptors:
+            self.send(acceptor, Accept(self.ballot, instance, value))
+
+    def _on_accepted(self, sender: str, msg: Accepted) -> None:
+        if msg.ballot != self.ballot:
+            return
+        proposal = self.proposals.get(msg.instance)
+        if proposal is None or proposal[0] != msg.ballot:
+            return
+        votes = self._accept_votes.setdefault(msg.instance, set())
+        votes.add(sender)
+        if len(votes) >= self._quorum():
+            value = proposal[1]
+            del self.proposals[msg.instance]
+            self._proposal_time.pop(msg.instance, None)
+            del self._accept_votes[msg.instance]
+            for replica in self.replicas:
+                if replica != self.name:
+                    self.send(replica, Decision(msg.instance, value))
+            self._on_decision(msg.instance, value)
+            self._flush_pending()
+
+    # -- learning / delivery ------------------------------------------------------
+
+    def _on_decision(self, instance: int, value: Any) -> None:
+        if instance in self.decided:
+            return
+        self.decided[instance] = value
+        while self.next_deliver in self.decided:
+            batch = self.decided[self.next_deliver]
+            self.next_deliver += 1
+            values = batch.values if isinstance(batch, Batch) else (batch,)
+            for v in values:
+                self._deliver_once(v)
+
+    def _deliver_once(self, value: Any) -> None:
+        if isinstance(value, NoOp):
+            return
+        uid = getattr(value, "uid", None)
+        if uid is not None:
+            if uid in self.delivered_uids:
+                return
+            self.delivered_uids.add(uid)
+            self._pending_uids.discard(uid)
+        self.deliver_value(value)
+
+    def deliver_value(self, value: Any) -> None:
+        """Exactly-once, in-order delivery point.  Subclasses override."""
+        if self.on_deliver is not None:
+            self.on_deliver(value)
+
+    # -- heartbeats & failure detection ----------------------------------------------
+
+    def _heartbeat_tick(self) -> None:
+        if not self.is_leader:
+            return
+        for replica in self.replicas:
+            if replica != self.name:
+                self.send(replica, Heartbeat(self.ballot, self.max_decided))
+        # Retransmit stalled proposals (Accepts lost to partitions/drops).
+        stale_cutoff = self.now - self.config.leader_timeout / 2
+        for instance, (ballot, value) in self.proposals.items():
+            if self._proposal_time.get(instance, self.now) <= stale_cutoff:
+                self._proposal_time[instance] = self.now
+                for acceptor in self.acceptors:
+                    self.send(acceptor, Accept(ballot, instance, value))
+
+    def _on_heartbeat(self, sender: str, msg: Heartbeat) -> None:
+        if msg.ballot >= self.ballot:
+            if msg.ballot > self.ballot:
+                self._adopt_ballot(msg.ballot)
+            self._last_leader_contact = self.now
+            self._peer_max_decided = max(self._peer_max_decided, msg.max_decided)
+
+    def _leader_check_tick(self) -> None:
+        if self.is_leader:
+            return
+        if self.now - self._last_leader_contact < self.config.leader_timeout:
+            return
+        # Leader silent: claim the next ballot this replica leads.
+        ballot = self.ballot + 1
+        while self.leader_of(ballot) != self.name:
+            ballot += 1
+        self._start_phase1(ballot)
+
+    def _adopt_ballot(self, ballot: int) -> None:
+        """Step down to follower state under a higher ballot."""
+        self.ballot = ballot
+        self.phase1_done = False
+        self._promises.clear()
+        # In-flight proposals from the old ballot may or may not be chosen;
+        # the values stay in proposed_uids so we do not double-propose, and
+        # a future leader recovers them from the acceptors.
+        self.proposals.clear()
+        self._proposal_time.clear()
+        self._accept_votes.clear()
+
+    def _on_nack(self, msg: Nack) -> None:
+        if msg.ballot > self.ballot:
+            self._adopt_ballot(msg.ballot)
+            self._last_leader_contact = self.now
+
+    # -- phase 1 (leader takeover) -------------------------------------------------------
+
+    def _start_phase1(self, ballot: int) -> None:
+        self.ballot = ballot
+        self.phase1_done = False
+        self._promises.clear()
+        self.proposals.clear()
+        self._proposal_time.clear()
+        self._accept_votes.clear()
+        self._last_leader_contact = self.now
+        for acceptor in self.acceptors:
+            self.send(acceptor, Prepare(ballot, self.next_deliver))
+
+    def _on_promise(self, sender: str, msg: Promise) -> None:
+        if msg.ballot != self.ballot or self.phase1_done:
+            return
+        if self.leader_of(self.ballot) != self.name:
+            return
+        self._promises[sender] = msg
+        if len(self._promises) < self._quorum():
+            return
+        self.phase1_done = True
+        self._recover_instances()
+        # Values buffered while following are now this leader's duty.
+        self._flush_pending()
+
+    def _recover_instances(self) -> None:
+        """Re-propose the highest-ballot accepted value for every in-flight
+        instance reported by a quorum of acceptors; close gaps with no-ops."""
+        merged: dict[int, tuple[int, Any]] = {}
+        for promise in self._promises.values():
+            for instance, (vballot, value) in promise.accepted.items():
+                current = merged.get(instance)
+                if current is None or vballot > current[0]:
+                    merged[instance] = (vballot, value)
+        if merged:
+            top = max(merged)
+            for instance in range(self.next_deliver, top + 1):
+                if instance in self.decided:
+                    continue
+                if instance in merged:
+                    self._propose(instance, merged[instance][1])
+                else:
+                    self._propose(instance, Batch((NoOp(),)))
+            self.next_instance = max(self.next_instance, top + 1)
+        self.next_instance = max(self.next_instance, self.next_deliver)
+
+    # -- catch-up --------------------------------------------------------------------
+
+    def _catchup_tick(self) -> None:
+        behind = max(self._peer_max_decided, self.max_decided)
+        if behind >= self.next_deliver and self.next_deliver not in self.decided:
+            for replica in self.replicas:
+                if replica != self.name:
+                    self.send(replica, LearnRequest(self.next_deliver, behind))
+
+    def _on_learn_request(self, sender: str, msg: LearnRequest) -> None:
+        for instance in range(msg.low, msg.high + 1):
+            if instance in self.decided:
+                self.send(sender, Decision(instance, self.decided[instance]))

@@ -1,0 +1,55 @@
+"""DynaStar core: location oracle, partition servers, caching clients.
+
+This package implements the paper's contribution (§4-§5):
+
+* :class:`~repro.core.oracle.OracleReplica` — the replicated location
+  oracle: location map, on-the-fly workload graph, METIS-style
+  repartitioning, prophecies.
+* :class:`~repro.core.server.PartitionServer` — partition replicas that
+  execute single-partition commands locally and multi-partition commands
+  by *borrowing* the needed variables at one target partition and
+  returning them after execution.
+* :class:`~repro.core.client.DynaStarClient` — closed-loop clients with a
+  location cache that only consult the oracle on misses and staleness.
+* :class:`~repro.core.system.DynaStarSystem` — builder wiring everything
+  onto a simulated network.
+"""
+
+from repro.core.messages import (
+    CreateVar,
+    DeleteVar,
+    ExecCommand,
+    ExecutionHint,
+    GlobalCommand,
+    OracleQuery,
+    PartitionPlan,
+    PlanTransfer,
+    Prophecy,
+    TransferFailed,
+    VarReturn,
+    VarTransfer,
+)
+from repro.core.oracle import OracleReplica
+from repro.core.server import PartitionServer
+from repro.core.client import DynaStarClient
+from repro.core.system import DynaStarSystem, SystemConfig
+
+__all__ = [
+    "CreateVar",
+    "DeleteVar",
+    "ExecCommand",
+    "ExecutionHint",
+    "GlobalCommand",
+    "OracleQuery",
+    "PartitionPlan",
+    "PlanTransfer",
+    "Prophecy",
+    "TransferFailed",
+    "VarReturn",
+    "VarTransfer",
+    "OracleReplica",
+    "PartitionServer",
+    "DynaStarClient",
+    "DynaStarSystem",
+    "SystemConfig",
+]

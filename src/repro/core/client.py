@@ -1,0 +1,263 @@
+"""DynaStar clients.
+
+Closed-loop clients (one outstanding command each, as in the paper's
+evaluation): issue a command, wait for the reply, record the end-to-end
+latency, issue the next.
+
+The location cache (§4.3) short-circuits the oracle: when every node a
+command touches is cached, the client multicasts straight to the involved
+partition(s) — choosing the target itself for multi-partition commands.
+A ``RETRY`` reply (stale cache) invalidates the involved entries and
+falls back to an oracle query; creates and deletes always go through the
+oracle.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Optional
+
+from repro.core.messages import (
+    ExecCommand,
+    GlobalCommand,
+    OracleQuery,
+    Prophecy,
+    ProphecyStatus,
+)
+from repro.multicast.basecast import GroupDirectory
+from repro.multicast.messages import MulticastMessage
+from repro.sim.actors import Actor
+from repro.sim.monitor import Monitor
+from repro.smr.command import Command, CommandKind, Reply, ReplyStatus
+from repro.smr.linearizability import History, Operation
+from repro.smr.statemachine import AppStateMachine
+
+
+class Workload:
+    """Supplies a client with its next command (None ends the client)."""
+
+    def next_command(self, client: "DynaStarClient") -> Optional[Command]:
+        raise NotImplementedError
+
+
+class ScriptedWorkload(Workload):
+    """Plays back a fixed list of commands (used heavily in tests)."""
+
+    def __init__(self, commands):
+        self._commands = list(commands)
+        self._pos = 0
+
+    def next_command(self, client) -> Optional[Command]:
+        if self._pos >= len(self._commands):
+            return None
+        command = self._commands[self._pos]
+        self._pos += 1
+        return command
+
+
+class CallbackWorkload(Workload):
+    """Wraps a ``fn(client) -> Optional[Command]`` callable."""
+
+    def __init__(self, fn):
+        self._fn = fn
+
+    def next_command(self, client) -> Optional[Command]:
+        return self._fn(client)
+
+
+class DynaStarClient(Actor):
+    """A closed-loop client with a location cache."""
+
+    MAX_ATTEMPTS = 100
+
+    def __init__(
+        self,
+        name: str,
+        app: AppStateMachine,
+        directory: GroupDirectory,
+        workload: Workload,
+        oracle_group: str = "oracle",
+        monitor: Optional[Monitor] = None,
+        use_cache: bool = True,
+        dispatch_via_oracle: bool = False,
+        history: Optional[History] = None,
+        stop_at: Optional[float] = None,
+        target_policy: str = "most_nodes",
+    ):
+        super().__init__(name)
+        self.target_policy = target_policy
+        self.app = app
+        self.directory = directory
+        self.workload = workload
+        self.oracle_group = oracle_group
+        self.monitor = monitor or Monitor()
+        self.use_cache = use_cache
+        self.dispatch_via_oracle = dispatch_via_oracle
+        self.history = history
+        self.stop_at = stop_at
+
+        self.cache: dict[Any, str] = {}
+        self.completed = 0
+        self.failed = 0
+        self.retries = 0
+        self.results: dict[str, Any] = {}
+        self.done = False
+
+        self._current: Optional[Command] = None
+        self._attempt = 0
+        self._invoked_at = 0.0
+        self._was_multi = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._next()
+
+    def _next(self) -> None:
+        if self.done:
+            return
+        if self.stop_at is not None and self.now >= self.stop_at:
+            self.done = True
+            return
+        command = self.workload.next_command(self)
+        if command is None:
+            self.done = True
+            return
+        self._current = command
+        self._attempt = 0
+        self._invoked_at = self.now
+        self._was_multi = False
+        self._issue()
+
+    # -- issuing -------------------------------------------------------------
+
+    def _issue(self) -> None:
+        command = self._current
+        if (
+            command.kind != CommandKind.ACCESS
+            or not self.use_cache
+            or self.dispatch_via_oracle
+        ):
+            self._query_oracle()
+            return
+        nodes = self.app.nodes_of(command)
+        if all(node in self.cache for node in nodes):
+            locations = tuple(
+                sorted(((n, self.cache[n]) for n in nodes), key=lambda kv: repr(kv[0]))
+            )
+            self._dispatch(locations, self._choose_target(locations))
+        else:
+            self._query_oracle()
+
+    def _query_oracle(self) -> None:
+        command = self._current
+        query = OracleQuery(
+            command, self.name, self._attempt, dispatch=self.dispatch_via_oracle
+        )
+        message = MulticastMessage(
+            uid=f"q:{command.uid}:a{self._attempt}",
+            dests=(self.oracle_group,),
+            payload=query,
+        )
+        self.directory.amcast(self, message)
+
+    def _choose_target(self, locations: tuple) -> str:
+        """Same deterministic rule as the oracle: by default the
+        partition with the most nodes, smallest name on ties."""
+        involved = sorted({p for _, p in locations})
+        if self.target_policy == "first":
+            return involved[0]
+        counts = Counter(p for _, p in locations)
+        top = max(counts.values())
+        return sorted(p for p, c in counts.items() if c == top)[0]
+
+    def _dispatch(self, locations: tuple, target: str) -> None:
+        command = self._current
+        involved = tuple(sorted({p for _, p in locations}))
+        self._was_multi = len(involved) > 1
+        if len(involved) == 1:
+            payload: Any = ExecCommand(command, self.name, self._attempt)
+        else:
+            payload = GlobalCommand(
+                command, self.name, self._attempt, target, locations
+            )
+        message = MulticastMessage(
+            uid=f"x:{command.uid}:a{self._attempt}",
+            dests=involved,
+            payload=payload,
+        )
+        self.directory.amcast(self, message)
+
+    # -- replies -----------------------------------------------------------------
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, Prophecy):
+            self._on_prophecy(message)
+        elif isinstance(message, Reply):
+            self._on_reply(message)
+
+    def _on_prophecy(self, prophecy: Prophecy) -> None:
+        command = self._current
+        if (
+            command is None
+            or prophecy.uid != command.uid
+            or prophecy.attempt != self._attempt
+        ):
+            return
+        if prophecy.status == ProphecyStatus.NOK:
+            self._complete(ReplyStatus.NOK, prophecy.reason)
+            return
+        for node, partition in prophecy.locations:
+            self.cache[node] = partition
+        if command.kind != CommandKind.ACCESS or self.dispatch_via_oracle:
+            return  # the oracle dispatched; wait for the server reply
+        self._dispatch(prophecy.locations, prophecy.target)
+
+    def _on_reply(self, reply: Reply) -> None:
+        command = self._current
+        if (
+            command is None
+            or reply.uid != command.uid
+            or reply.attempt != self._attempt
+        ):
+            return
+        if reply.status == ReplyStatus.RETRY:
+            self.retries += 1
+            self.monitor.counter("client_retries").inc()
+            self._attempt += 1
+            if self._attempt >= self.MAX_ATTEMPTS:
+                self._complete(ReplyStatus.NOK, "too many retries")
+                return
+            for node in self.app.nodes_of(command):
+                self.cache.pop(node, None)
+            self._query_oracle()
+            return
+        self._complete(reply.status, reply.result)
+
+    def _complete(self, status: ReplyStatus, result: Any) -> None:
+        command = self._current
+        latency = self.now - self._invoked_at
+        self._current = None
+        self.results[command.uid] = (status, result)
+        if status == ReplyStatus.OK:
+            self.completed += 1
+            self.monitor.histogram("latency").observe(latency)
+            self.monitor.histogram(
+                "latency_multi" if self._was_multi else "latency_single"
+            ).observe(latency)
+            self.monitor.series("completed").record(self.now)
+            self.monitor.counter("commands_completed").inc()
+            if self.history is not None:
+                self.history.record(
+                    Operation(
+                        client=self.name,
+                        command=command,
+                        invoked_at=self._invoked_at,
+                        returned_at=self.now,
+                        result=result,
+                    )
+                )
+        else:
+            self.failed += 1
+            self.monitor.counter("commands_failed").inc()
+        self._next()

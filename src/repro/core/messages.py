@@ -1,0 +1,202 @@
+"""DynaStar protocol payloads.
+
+Multicast payloads travel inside
+:class:`~repro.multicast.messages.MulticastMessage` envelopes and are
+therefore totally ordered against each other at common destinations;
+direct payloads are replica-to-replica (or replica-to-client) one-way
+sends, deduplicated by the receiver.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.smr.command import Command
+
+
+# ---------------------------------------------------------------------------
+# Multicast payloads (ordered through the atomic multicast)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OracleQuery:
+    """Client -> oracle: what should I do with this command?
+
+    Covers the base protocol's ``exec(C)`` (when ``dispatch`` is True the
+    oracle itself forwards the command to the partitions, Algorithm 2) and
+    the optimized protocol's cache-miss lookup (§4.3), where the client
+    dispatches using the returned prophecy.
+    """
+
+    command: Command
+    client: str
+    attempt: int
+    dispatch: bool = False
+
+
+@dataclass(frozen=True)
+class ExecCommand:
+    """Single-partition command execution request."""
+
+    command: Command
+    client: str
+    attempt: int
+
+
+@dataclass(frozen=True)
+class GlobalCommand:
+    """Multi-partition command: gather variables at ``target``, execute
+    there, return them (the paper's ``global(ω, Pd, C)``).
+
+    ``locations`` carries the believed node -> partition map for the
+    command's nodes so every involved partition knows what to send and
+    what to wait for.
+    """
+
+    command: Command
+    client: str
+    attempt: int
+    target: str
+    locations: tuple  # ((node, partition), ...)
+
+    def involved(self) -> tuple:
+        return tuple(sorted({p for _, p in self.locations}))
+
+    def nodes_at(self, partition: str) -> tuple:
+        return tuple(n for n, p in self.locations if p == partition)
+
+
+@dataclass(frozen=True)
+class CreateVar:
+    """Oracle -> {oracle, partition}: materialize a new variable."""
+
+    command: Command
+    var: Any
+    node: Any
+    partition: str
+    client: str
+    attempt: int
+
+
+@dataclass(frozen=True)
+class DeleteVar:
+    """Oracle -> {oracle, partition}: remove a variable."""
+
+    command: Command
+    var: Any
+    node: Any
+    partition: str
+    client: str
+    attempt: int
+
+
+@dataclass(frozen=True)
+class ExecutionHint:
+    """Server -> oracle: observed workload-graph vertices and edges.
+
+    ``seq`` makes the multicast uid deterministic across the sending
+    partition's replicas so the oracle ingests each hint once.
+    """
+
+    partition: str
+    seq: int
+    vertices: tuple  # ((node, weight), ...)
+    edges: tuple  # ((u, v, weight), ...)
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Oracle -> everyone: new node -> partition assignment, versioned."""
+
+    version: int
+    assignment: tuple  # ((node, partition), ...)
+
+    def as_dict(self) -> dict:
+        return dict(self.assignment)
+
+
+# ---------------------------------------------------------------------------
+# Direct payloads (one-way sends, receiver deduplicates)
+# ---------------------------------------------------------------------------
+
+
+class ProphecyStatus(enum.Enum):
+    OK = "ok"
+    NOK = "nok"
+
+
+@dataclass(frozen=True)
+class Prophecy:
+    """Oracle replica -> client: locations and target for a command."""
+
+    uid: str  # command uid
+    attempt: int
+    status: ProphecyStatus
+    locations: tuple = ()  # ((node, partition), ...)
+    target: Optional[str] = None
+    version: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class VarTransfer:
+    """Source partition -> target partition: borrowed variables for a
+    multi-partition command.
+
+    ``attempt`` matters: a retried command reuses its uid, and buffering
+    by uid alone would let a stale attempt's abort state swallow the new
+    attempt's transfers (a cross-attempt deadlock).
+    """
+
+    cmd_uid: str
+    from_partition: str
+    vars: tuple  # ((var, value), ...)
+    attempt: int = 0
+
+    @property
+    def key(self) -> tuple:
+        return (self.cmd_uid, self.attempt)
+
+
+@dataclass(frozen=True)
+class VarReturn:
+    """Target partition -> source partition: borrowed variables coming
+    home (with post-execution values)."""
+
+    cmd_uid: str
+    from_partition: str
+    vars: tuple
+    attempt: int = 0
+
+    @property
+    def key(self) -> tuple:
+        return (self.cmd_uid, self.attempt)
+
+
+@dataclass(frozen=True)
+class TransferFailed:
+    """A partition involved in a multi-partition command discovered the
+    command's location map is stale; everyone involved should abort and
+    the client will retry."""
+
+    cmd_uid: str
+    from_partition: str
+    attempt: int = 0
+
+    @property
+    def key(self) -> tuple:
+        return (self.cmd_uid, self.attempt)
+
+
+@dataclass(frozen=True)
+class PlanTransfer:
+    """Old owner -> new owner: a node's variables moving under a
+    repartitioning plan."""
+
+    version: int
+    node: Any
+    from_partition: str
+    vars: tuple

@@ -1,0 +1,400 @@
+"""The DynaStar location oracle.
+
+The oracle is an ordinary replicated partition (§4.1): every request
+reaches it through the atomic multicast, so all replicas process the same
+sequence of queries, hints, and plans, and their location map, workload
+graph and version counters never diverge.
+
+Three responsibilities:
+
+* **Prophecies** — answer "where do the variables of command C live and
+  which partition should execute it" (Task 1, Algorithm 2).  The target
+  partition is the one holding most of the command's nodes, ties broken
+  deterministically.
+* **Workload graph** — ingest :class:`ExecutionHint` batches from the
+  partitions; vertices accumulate access counts (vertex weight), edges
+  accumulate co-access counts (edge weight).
+* **Repartitioning** — once enough changes accumulate, run the multilevel
+  partitioner (Task 4) and multicast the versioned plan to every
+  partition and to itself; its own location map switches when the plan is
+  a-delivered (Task 5), which is the §5.2 plan-id ordering trick.
+
+Modes: ``dynastar`` (the full system), ``ssmr`` (static map, never
+repartitions), ``dssmr`` (no workload graph; every multi-partition
+prophecy permanently migrates the involved nodes to the target — the
+naive DS-SMR policy the paper improves upon).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from typing import Any, Optional
+
+from repro.core.messages import (
+    CreateVar,
+    DeleteVar,
+    ExecCommand,
+    ExecutionHint,
+    GlobalCommand,
+    OracleQuery,
+    PartitionPlan,
+    PlanTransfer,
+    Prophecy,
+    ProphecyStatus,
+)
+from repro.multicast.basecast import MulticastReplica
+from repro.multicast.messages import MulticastMessage
+from repro.partitioning import WorkloadGraph, partition_graph
+from repro.partitioning.quality import edge_cut as quality_edge_cut
+from repro.sim.monitor import Monitor
+from repro.smr.command import Command, CommandKind
+from repro.smr.statemachine import AppStateMachine
+
+
+def _stable_hash(value: Any) -> int:
+    """Deterministic hash (Python's ``hash`` is salted per process)."""
+    return int.from_bytes(
+        hashlib.sha256(repr(value).encode()).digest()[:8], "big"
+    )
+
+
+class OracleReplica(MulticastReplica):
+    """One replica of the oracle partition."""
+
+    def __init__(
+        self,
+        *args,
+        app: Optional[AppStateMachine] = None,
+        partition_names: Optional[list[str]] = None,
+        monitor: Optional[Monitor] = None,
+        mode: str = "dynastar",
+        repartition_threshold: int = 2000,
+        repartition_enabled: bool = True,
+        plan_compute_cost: float = 1e-6,
+        imbalance: float = 0.20,
+        target_policy: str = "most_nodes",
+        graph_decay: float = 0.5,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if target_policy not in ("most_nodes", "first", "hash"):
+            raise ValueError(f"unknown target policy {target_policy!r}")
+        if not 0.0 <= graph_decay <= 1.0:
+            raise ValueError("graph_decay must be in [0, 1]")
+        self.target_policy = target_policy
+        #: Weight multiplier applied to the workload graph after each plan
+        #: computation: 1.0 never forgets, smaller values favour recent
+        #: access patterns (important for adapting to workload shifts).
+        self.graph_decay = graph_decay
+        self.app = app
+        self.partition_names = sorted(partition_names or [])
+        self.monitor = monitor or Monitor()
+        self.mode = mode
+        self.repartition_threshold = repartition_threshold
+        self.repartition_enabled = repartition_enabled and mode == "dynastar"
+        self.plan_compute_cost = plan_compute_cost
+        self.imbalance = imbalance
+
+        self.location: dict[Any, str] = {}
+        self.graph = WorkloadGraph()
+        self.version = 0
+        self.changes = 0
+        self.plan_inflight = False
+        self.plans_issued = 0
+
+    @property
+    def _records_metrics(self) -> bool:
+        """Only replica 0 writes shared metrics, or counts double."""
+        return self.index == 0
+
+    # -- bootstrap ---------------------------------------------------------
+
+    def preload_locations(self, assignment: dict) -> None:
+        """Install the initial node -> partition map (system builder)."""
+        self.location.update(assignment)
+        for node in assignment:
+            self.graph.ensure_vertex(node)
+
+    # -- a-delivery dispatch ---------------------------------------------------
+
+    def adeliver(self, msg: MulticastMessage) -> None:
+        payload = msg.payload
+        if isinstance(payload, OracleQuery):
+            self._on_query(payload)
+        elif isinstance(payload, CreateVar):
+            self._on_create(payload)
+        elif isinstance(payload, DeleteVar):
+            self._on_delete(payload)
+        elif isinstance(payload, ExecutionHint):
+            self._on_hint(payload)
+        elif isinstance(payload, PartitionPlan):
+            self._on_plan(payload)
+
+    # -- prophecies --------------------------------------------------------------
+
+    def _on_query(self, query: OracleQuery) -> None:
+        if self._records_metrics:
+            self.monitor.series("oracle_queries").record(self.now)
+            self.monitor.counter("oracle_queries_total").inc()
+        command = query.command
+        if command.kind == CommandKind.CREATE:
+            self._handle_create_query(query)
+        elif command.kind == CommandKind.DELETE:
+            self._handle_delete_query(query)
+        else:
+            self._handle_access_query(query)
+
+    def _handle_create_query(self, query: OracleQuery) -> None:
+        command = query.command
+        var = command.args[0]
+        node = self.app.graph_node_of(var)
+        if node in self.location:
+            self._prophesize(query, ProphecyStatus.NOK, reason="exists")
+            return
+        partition = self.partition_names[
+            _stable_hash(node) % len(self.partition_names)
+        ]
+        payload = CreateVar(
+            command, var, node, partition, query.client, query.attempt
+        )
+        self._amcast_ordered(
+            [self.group, partition], payload, uid=f"create:{command.uid}"
+        )
+        self._prophesize(
+            query,
+            ProphecyStatus.OK,
+            locations=((node, partition),),
+            target=partition,
+        )
+
+    def _handle_delete_query(self, query: OracleQuery) -> None:
+        command = query.command
+        var = command.args[0]
+        node = self.app.graph_node_of(var)
+        partition = self.location.get(node)
+        if partition is None:
+            self._prophesize(query, ProphecyStatus.NOK, reason="missing")
+            return
+        payload = DeleteVar(
+            command, var, node, partition, query.client, query.attempt
+        )
+        self._amcast_ordered(
+            [self.group, partition], payload, uid=f"delete:{command.uid}"
+        )
+        self._prophesize(
+            query,
+            ProphecyStatus.OK,
+            locations=((node, partition),),
+            target=partition,
+        )
+
+    def _handle_access_query(self, query: OracleQuery) -> None:
+        command = query.command
+        nodes = sorted(self.app.nodes_of(command), key=repr)
+        missing = [n for n in nodes if n not in self.location]
+        if missing:
+            self._prophesize(query, ProphecyStatus.NOK, reason="missing")
+            return
+        locations = tuple((n, self.location[n]) for n in nodes)
+        target = self.choose_target(locations)
+        if self.mode == "dssmr" and len({p for _, p in locations}) > 1:
+            # DS-SMR: the move is permanent; the map changes right away.
+            for node, _ in locations:
+                self.location[node] = target
+            if self._records_metrics:
+                self.monitor.counter("dssmr_migrations").inc()
+        self._prophesize(
+            query, ProphecyStatus.OK, locations=locations, target=target
+        )
+        if query.dispatch:
+            self._dispatch(query, locations, target)
+
+    def choose_target(self, locations: tuple) -> str:
+        """The partition that executes a multi-partition command.
+
+        Default (``most_nodes``, the paper's rule): the partition holding
+        most of the command's nodes, ties broken by name — minimizing the
+        number of relocated variables.  ``first`` / ``hash`` are weaker
+        deterministic policies kept for the ablation benchmark.
+        """
+        involved = sorted({p for _, p in locations})
+        if self.target_policy == "first":
+            return involved[0]
+        if self.target_policy == "hash":
+            return involved[_stable_hash(tuple(locations)) % len(involved)]
+        counts = Counter(p for _, p in locations)
+        top = max(counts.values())
+        candidates = sorted(p for p, c in counts.items() if c == top)
+        return candidates[0]
+
+    def _dispatch(self, query: OracleQuery, locations: tuple, target: str) -> None:
+        """Base-protocol mode: the oracle forwards the command itself."""
+        involved = sorted({p for _, p in locations})
+        uid = f"dispatch:{query.command.uid}:a{query.attempt}"
+        if len(involved) == 1:
+            payload = ExecCommand(query.command, query.client, query.attempt)
+        else:
+            payload = GlobalCommand(
+                query.command, query.client, query.attempt, target, locations
+            )
+        self._amcast_ordered(involved, payload, uid=uid)
+
+    def _prophesize(
+        self,
+        query: OracleQuery,
+        status: ProphecyStatus,
+        locations: tuple = (),
+        target: Optional[str] = None,
+        reason: str = "",
+    ) -> None:
+        prophecy = Prophecy(
+            uid=query.command.uid,
+            attempt=query.attempt,
+            status=status,
+            locations=locations,
+            target=target,
+            version=self.version,
+            reason=reason,
+        )
+        self.send(query.client, prophecy)
+
+    # -- create / delete application (Task 2) ----------------------------------------
+
+    def _on_create(self, payload: CreateVar) -> None:
+        self.location[payload.node] = payload.partition
+        self.graph.ensure_vertex(payload.node)
+
+    def _on_delete(self, payload: DeleteVar) -> None:
+        self.location.pop(payload.node, None)
+        if payload.node in self.graph:
+            self.graph.remove_vertex(payload.node)
+
+    # -- workload graph & repartitioning (Tasks 4 and 5) ------------------------------
+
+    def _on_hint(self, hint: ExecutionHint) -> None:
+        if self.mode != "dynastar":
+            return
+        accesses = 0
+        for node, weight in hint.vertices:
+            if node in self.location:
+                self.graph.add_vertex(node, weight)
+                accesses += weight
+        for u, v, weight in hint.edges:
+            if u in self.location and v in self.location:
+                self.graph.add_edge(u, v, weight)
+        # "changes" counts observed node-accesses, so the threshold reads
+        # as "repartition every N accesses".
+        self.changes += accesses
+        self._maybe_repartition()
+
+    def _maybe_repartition(self) -> None:
+        # The trigger must depend only on log-driven state (changes,
+        # plan_inflight) — never on local clocks — or the two oracle
+        # replicas could compute *different* plans under the same uid.
+        if (
+            not self.repartition_enabled
+            or self.plan_inflight
+            or self.changes < self.repartition_threshold
+        ):
+            return
+        self.request_repartition()
+
+    def request_repartition(self) -> None:
+        """Compute a new plan and multicast it after a virtual delay
+        modelling the partitioner's computation time.
+
+        All replicas compute the identical plan (the inputs come from the
+        shared log and the partitioner is seeded by the plan version), and
+        the multicast uid is derived from the version, so the plan enters
+        every log exactly once no matter how many replicas send it.
+        """
+        if self.plan_inflight or not self.partition_names:
+            return
+        self.plan_inflight = True
+        self.changes = 0
+        new_version = self.version + 1
+
+        result = partition_graph(
+            self.graph,
+            len(self.partition_names),
+            imbalance=self.imbalance,
+            seed=new_version,
+            restarts=3,
+        )
+        # Decay history so the NEXT plan is dominated by accesses observed
+        # from now on (runs at the same log position on every replica).
+        if self.graph_decay < 1.0:
+            self.graph.scale_weights(self.graph_decay)
+        assignment = self._align_plan_labels(result.assignment)
+        # Nodes known to the map but absent from the graph keep their home.
+        for node, partition in self.location.items():
+            assignment.setdefault(node, partition)
+
+        # Hysteresis: never publish a plan that does not beat the edge-cut
+        # of the assignment the system is already running (the partitioner
+        # is randomized; on small graphs a restart can still lose to a
+        # converged incumbent).  Skipping is deterministic: every replica
+        # evaluates the same graph and maps at the same log position.
+        new_cut = quality_edge_cut(self.graph, assignment)
+        current_cut = quality_edge_cut(self.graph, self.location)
+        if new_cut >= current_cut * 0.98 and self.version > 0:
+            self.plan_inflight = False
+            return
+
+        plan = PartitionPlan(new_version, tuple(sorted(assignment.items(), key=lambda kv: repr(kv[0]))))
+        delay = self.plan_compute_cost * max(1, self.graph.num_vertices)
+        self.set_timer(delay, lambda: self._publish_plan(plan))
+
+    def _align_plan_labels(self, raw: dict) -> dict:
+        """Map the partitioner's arbitrary part indices onto partition
+        names so that as few nodes as possible change home — the paper's
+        "minimizes the number of state relocations".  Greedy maximum-
+        overlap matching between new parts and current partitions."""
+        overlap: dict[int, Counter] = {}
+        for node, idx in raw.items():
+            current = self.location.get(node)
+            if current is not None:
+                overlap.setdefault(idx, Counter())[current] += 1
+        candidates = []
+        for idx, counts in overlap.items():
+            for name, count in counts.items():
+                candidates.append((count, idx, name))
+        candidates.sort(key=lambda t: (-t[0], t[1], t[2]))
+        idx_to_name: dict[int, str] = {}
+        used: set[str] = set()
+        for count, idx, name in candidates:
+            if idx in idx_to_name or name in used:
+                continue
+            idx_to_name[idx] = name
+            used.add(name)
+        spare = [n for n in self.partition_names if n not in used]
+        for idx in range(len(self.partition_names)):
+            if idx not in idx_to_name:
+                idx_to_name[idx] = spare.pop(0)
+        return {node: idx_to_name[idx] for node, idx in raw.items()}
+
+    def _publish_plan(self, plan: PartitionPlan) -> None:
+        dests = [self.group] + self.partition_names
+        self._amcast_ordered(dests, plan, uid=f"plan:{plan.version}")
+
+    def _on_plan(self, plan: PartitionPlan) -> None:
+        if plan.version <= self.version:
+            return
+        self.version = plan.version
+        self.location.update(plan.as_dict())
+        self.plan_inflight = False
+        self.plans_issued += 1
+        if self._records_metrics:
+            self.monitor.counter("plans_applied").inc()
+            self.monitor.series("plans").record(self.now)
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _amcast_ordered(self, dests, payload, uid: str) -> None:
+        """a-mcast with a deterministic uid so that every oracle replica
+        can issue the same multicast and it is delivered once."""
+        message = MulticastMessage(
+            uid=uid, dests=tuple(sorted(set(dests))), payload=payload
+        )
+        self._directory.amcast_local(self, message)

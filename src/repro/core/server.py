@@ -1,0 +1,657 @@
+"""DynaStar partition servers.
+
+A :class:`PartitionServer` is a multicast replica hosting the application
+state machine for one partition.  A-delivered payloads enter an execution
+queue processed strictly in delivery order (the SMR contract).  The head
+of the queue may block while
+
+* borrowed variables for a multi-partition command are in flight
+  (target side),
+* lent variables are on their way back (source side, Algorithm 3
+  line 17), or
+* a node this partition now owns is still in transit under a
+  repartitioning plan.
+
+Everything behind the head waits — multi-partition commands really are
+expensive here, which is precisely the cost DynaStar's repartitioning
+optimizes away.  Plan-driven relocation itself does **not** block the
+queue: only commands touching a still-in-transit node wait.
+
+Staleness: if a command's believed locations disagree with the current
+plan, the server answers ``RETRY`` and aborts the gather (notifying the
+other involved partitions), and the client refreshes its cache at the
+oracle — the retry mechanism of §4.3.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Optional
+
+from repro.core.messages import (
+    CreateVar,
+    DeleteVar,
+    ExecCommand,
+    ExecutionHint,
+    GlobalCommand,
+    PartitionPlan,
+    PlanTransfer,
+    TransferFailed,
+    VarReturn,
+    VarTransfer,
+)
+from repro.multicast.basecast import MulticastReplica
+from repro.multicast.messages import MulticastMessage
+from repro.sim.monitor import Monitor
+from repro.smr.command import Reply, ReplyStatus
+from repro.smr.statemachine import AppStateMachine, VariableStore
+
+#: Commands touching more nodes than this record a star instead of a
+#: clique in the workload-graph hint (keeps hint sizes linear for e.g.
+#: celebrity posts that touch hundreds of users).
+CLIQUE_HINT_LIMIT = 12
+
+
+class PartitionServer(MulticastReplica):
+    """One replica of a data partition."""
+
+    def __init__(
+        self,
+        *args,
+        app: Optional[AppStateMachine] = None,
+        monitor: Optional[Monitor] = None,
+        mode: str = "dynastar",
+        oracle_group: str = "oracle",
+        hint_period: float = 1.0,
+        hints_enabled: bool = True,
+        service_time: float = 0.0,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.app = app
+        self.monitor = monitor or Monitor()
+        self.mode = mode
+        self.oracle_group = oracle_group
+        self.hint_period = hint_period
+        self.hints_enabled = hints_enabled and mode == "dynastar"
+        #: Virtual CPU time one command execution occupies the partition
+        #: for.  0 disables the model (protocol tests); benchmarks set it
+        #: so throughput saturates like a real server.
+        self.service_time = service_time
+        self._next_free = 0.0
+        self._service_timer = None
+
+        self.partition = self.group
+        self.store = VariableStore()
+        self.owned_nodes: set = set()
+        self.node_vars: dict[Any, set] = {}
+        self.in_transit: set = set()
+        self.version = 0
+        self.last_plan: dict[Any, str] = {}
+
+        self.queue: deque = deque()
+        self._head_state: dict = {}
+
+        self.recv_transfers: dict[str, dict[str, tuple]] = {}
+        self.transfer_failures: dict[str, set] = {}
+        self.recv_returns: dict[str, dict[str, tuple]] = {}
+        self.aborted_cmds: set = set()
+        self._finished_cmds: set = set()
+        self._plan_transfer_seen: set = set()
+        self._early_plan_transfers: dict = {}
+
+        self._hint_vertices: Counter = Counter()
+        self._hint_edges: Counter = Counter()
+        self._hint_seq = 0
+
+        self.executed_count = 0
+        self.multi_partition_count = 0
+
+    # -- bootstrap -----------------------------------------------------------
+
+    def preload(self, variables: dict, nodes: set, plan: dict) -> None:
+        """Install the initial variables/ownership (system builder)."""
+        for var, value in variables.items():
+            self.store.insert_copy(var, value)
+            self._index_var(var)
+        self.owned_nodes.update(nodes)
+        self.last_plan.update(plan)
+
+    def start(self) -> None:
+        super().start()
+        if self.hints_enabled:
+            self.set_periodic_timer(self.hint_period, self._flush_hints)
+
+    @property
+    def _records_metrics(self) -> bool:
+        return self.index == 0
+
+    # -- variable index ---------------------------------------------------------
+
+    def _index_var(self, var: Any) -> None:
+        node = self.app.graph_node_of(var)
+        self.node_vars.setdefault(node, set()).add(var)
+
+    def _unindex_var(self, var: Any) -> None:
+        node = self.app.graph_node_of(var)
+        bucket = self.node_vars.get(node)
+        if bucket is not None:
+            bucket.discard(var)
+            if not bucket:
+                del self.node_vars[node]
+
+    def _tracked_execute(self, command):
+        """Run the app with mutation tracking; returns
+        (result, status, written, removed) and keeps the index in sync."""
+        from repro.smr.command import ReplyStatus as _RS
+
+        self.store.begin_tracking()
+        try:
+            result = self.app.execute(command, self.store)
+            status = _RS.OK
+        except (KeyError, ValueError) as exc:
+            result = repr(exc)
+            status = _RS.NOK
+        written, removed = self.store.end_tracking()
+        for var in written:
+            self._index_var(var)
+        for var in removed:
+            self._unindex_var(var)
+        return result, status, written, removed
+
+    def _borrowable_vars(self, command, claimed_nodes: set) -> list:
+        """The variables this partition must ship when lending its part of
+        ``command``: the concrete declared vars living on claimed nodes,
+        plus every variable of claimed wildcard nodes."""
+        vars_out = []
+        for var in sorted(self.app.concrete_variables_of(command), key=repr):
+            if self.app.graph_node_of(var) in claimed_nodes and var in self.store:
+                vars_out.append(var)
+        for node in sorted(self.app.wildcard_nodes_of(command), key=repr):
+            if node in claimed_nodes:
+                node_vars = self.node_vars.get(node, set())
+                selected = self.app.borrow_variables(
+                    command, node, self.store, node_vars
+                )
+                if selected is None:
+                    selected = node_vars
+                for var in sorted(selected, key=repr):
+                    if var not in vars_out and var in self.store:
+                        vars_out.append(var)
+        return vars_out
+
+    # -- a-delivery --------------------------------------------------------------
+
+    def adeliver(self, msg: MulticastMessage) -> None:
+        self.queue.append(msg.payload)
+        self._pump()
+
+    def on_app_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, VarTransfer):
+            self._on_var_transfer(message)
+        elif isinstance(message, VarReturn):
+            self._on_var_return(message)
+        elif isinstance(message, TransferFailed):
+            self._on_transfer_failed(message)
+        elif isinstance(message, PlanTransfer):
+            self._on_plan_transfer(message)
+
+    # -- the execution queue -------------------------------------------------------
+
+    def _pump(self) -> None:
+        while self.queue:
+            head = self.queue[0]
+            if isinstance(head, ExecCommand):
+                done = self._try_exec(head)
+            elif isinstance(head, GlobalCommand):
+                done = self._try_global(head)
+            elif isinstance(head, CreateVar):
+                done = self._apply_create(head)
+            elif isinstance(head, DeleteVar):
+                done = self._apply_delete(head)
+            elif isinstance(head, PartitionPlan):
+                done = self._apply_plan(head)
+            else:
+                done = True  # unknown payloads are skipped
+            if not done:
+                return
+            self.queue.popleft()
+            self._head_state = {}
+
+    # -- single-partition commands -----------------------------------------------------
+
+    def _gate_service(self) -> bool:
+        """True when the simulated CPU is free; otherwise re-pumps once
+        the current command's service time has elapsed."""
+        if self.service_time <= 0 or self.now >= self._next_free:
+            return True
+        if self._service_timer is None or not self._service_timer.active:
+            self._service_timer = self.set_timer(
+                self._next_free - self.now, self._pump
+            )
+        return False
+
+    def _consume_service(self) -> None:
+        if self.service_time > 0:
+            self._next_free = max(self._next_free, self.now) + self.service_time
+
+    def _try_exec(self, payload: ExecCommand) -> bool:
+        command = payload.command
+        nodes = self.app.nodes_of(command)
+        if any(node not in self.owned_nodes for node in nodes):
+            self._reply(payload, ReplyStatus.RETRY)
+            return True
+        if any(node in self.in_transit for node in nodes):
+            return False  # wait for the node's variables to arrive
+        if not self._gate_service():
+            return False
+        self._consume_service()
+        self._execute_and_reply(payload, record_hint_nodes=nodes)
+        return True
+
+    def _execute_and_reply(self, payload, record_hint_nodes=()) -> None:
+        command = payload.command
+        result, status, _, _ = self._tracked_execute(command)
+        self._reply(payload, status, result)
+        self.executed_count += 1
+        self._record_hint(record_hint_nodes)
+        if self._records_metrics:
+            self.monitor.series(f"tput:{self.partition}").record(self.now)
+
+    # -- multi-partition commands ----------------------------------------------------------
+
+    def _try_global(self, payload: GlobalCommand) -> bool:
+        command = payload.command
+        cmd_uid = command.uid
+        claimed = payload.nodes_at(self.partition)
+        state = self._head_state
+
+        if not state.get("checked"):
+            if any(node not in self.owned_nodes for node in claimed):
+                self._abort_global(payload, notify=True)
+                return True
+            state["checked"] = True
+        if any(node in self.in_transit for node in claimed):
+            return False
+
+        if self.mode == "dssmr":
+            if payload.target == self.partition:
+                return self._dssmr_as_target(payload)
+            return self._dssmr_as_source(payload)
+        if payload.target == self.partition:
+            return self._global_as_target(payload)
+        return self._global_as_source(payload)
+
+    def _global_as_target(self, payload: GlobalCommand) -> bool:
+        command = payload.command
+        key = (command.uid, payload.attempt)
+        needed = {p for p in payload.involved() if p != self.partition}
+
+        if self.transfer_failures.get(key):
+            # Some source is stale; abort and bounce whatever arrived.
+            self._abort_global(payload, notify=True)
+            return True
+        received = self.recv_transfers.get(key, {})
+        if not needed <= set(received):
+            return False  # still gathering
+        if not self._gate_service():
+            return False
+        self._consume_service()
+
+        # Insert the borrowed variables.
+        borrowed: list = []
+        for source, pairs in received.items():
+            for var, value in pairs:
+                self.store.insert_copy(var, value)
+                self._index_var(var)
+                borrowed.append(var)
+        result, status, written, _removed = self._tracked_execute(command)
+
+        # Return every variable that belongs to a source node — including
+        # variables the execution just created for those nodes.
+        home_of = dict(payload.locations)
+        returns: dict[str, list] = {}
+        for var in set(borrowed) | written:
+            if var not in self.store:
+                continue
+            home = home_of.get(self.app.graph_node_of(var))
+            if home is not None and home != self.partition:
+                returns.setdefault(home, []).append(
+                    (var, self.store.get(var))
+                )
+        returned_objects = 0
+        for home, pairs in returns.items():
+            self._send_to_partition(
+                home,
+                VarReturn(
+                    command.uid, self.partition, tuple(pairs), payload.attempt
+                ),
+            )
+            for var, _ in pairs:
+                self.store.discard(var)
+                self._unindex_var(var)
+            returned_objects += len(pairs)
+
+        self._reply(payload, status, result)
+        self.executed_count += 1
+        self.multi_partition_count += 1
+        nodes = {n for n, _ in payload.locations}
+        self._record_hint(nodes)
+        self._cleanup_cmd(key)
+        if self._records_metrics:
+            self.monitor.series(f"tput:{self.partition}").record(self.now)
+            self.monitor.series(f"multipart:{self.partition}").record(self.now)
+            self.monitor.counter("multi_partition_commands").inc()
+            exchanged = sum(len(p) for p in received.values()) + returned_objects
+            self.monitor.counter("objects_exchanged").inc(exchanged)
+            self.monitor.series(f"objects:{self.partition}").record(
+                self.now, exchanged
+            )
+        return True
+
+    def _global_as_source(self, payload: GlobalCommand) -> bool:
+        command = payload.command
+        key = (command.uid, payload.attempt)
+        state = self._head_state
+
+        if not state.get("sent"):
+            claimed = set(payload.nodes_at(self.partition))
+            pairs = []
+            for var in self._borrowable_vars(command, claimed):
+                pairs.append((var, self.store.take(var)))
+                self._unindex_var(var)
+            self._send_to_partition(
+                payload.target,
+                VarTransfer(
+                    command.uid, self.partition, tuple(pairs), payload.attempt
+                ),
+            )
+            state["sent"] = True
+            if self._records_metrics:
+                self.monitor.series(f"objects:{self.partition}").record(
+                    self.now, len(pairs)
+                )
+
+        # Wait for our variables to come home (or an abort bounce, which
+        # also arrives as a VarReturn).
+        returned = self.recv_returns.get(key, {}).get(payload.target)
+        if returned is None:
+            return False
+        for var, value in returned:
+            self.store.insert_copy(var, value)
+            self._index_var(var)
+        self._cleanup_cmd(key)
+        return True
+
+    # -- DS-SMR mode: moves are permanent, nothing comes back -------------------------
+
+    def _dssmr_as_source(self, payload: GlobalCommand) -> bool:
+        """DS-SMR source: ship every variable of the claimed nodes to the
+        target and relinquish ownership — the naive permanent migration
+        the paper's baseline performs on every multi-partition command."""
+        claimed = payload.nodes_at(self.partition)
+        pairs = []
+        for node in claimed:
+            for var in list(self.node_vars.get(node, ())):
+                pairs.append((var, self.store.get(var)))
+                self.store.discard(var)
+                self._unindex_var(var)
+            self.owned_nodes.discard(node)
+            self.last_plan[node] = payload.target
+        self._send_to_partition(
+            payload.target,
+            VarTransfer(
+                payload.command.uid, self.partition, tuple(pairs), payload.attempt
+            ),
+        )
+        if self._records_metrics:
+            self.monitor.series(f"objects:{self.partition}").record(
+                self.now, len(pairs)
+            )
+            self.monitor.counter("objects_exchanged").inc(len(pairs))
+        return True
+
+    def _dssmr_as_target(self, payload: GlobalCommand) -> bool:
+        command = payload.command
+        key = (command.uid, payload.attempt)
+        needed = {p for p in payload.involved() if p != self.partition}
+        if self.transfer_failures.get(key):
+            self._abort_global(payload, notify=True)
+            return True
+        received = self.recv_transfers.get(key, {})
+        if not needed <= set(received):
+            return False
+        if not self._gate_service():
+            return False
+        self._consume_service()
+        for source, pairs in received.items():
+            for var, value in pairs:
+                self.store.insert_copy(var, value)
+                self._index_var(var)
+        for node, _ in payload.locations:
+            self.owned_nodes.add(node)
+            self.last_plan[node] = self.partition
+        self._execute_and_reply(payload)
+        self.multi_partition_count += 1
+        self._cleanup_cmd(key)
+        if self._records_metrics:
+            self.monitor.series(f"multipart:{self.partition}").record(self.now)
+            self.monitor.counter("multi_partition_commands").inc()
+        return True
+
+    def _abort_global(self, payload: GlobalCommand, notify: bool) -> None:
+        """This partition cannot honor the command's location map: tell
+        the client to retry and unwind the gather."""
+        key = (payload.command.uid, payload.attempt)
+        self._reply(payload, ReplyStatus.RETRY)
+        if self._records_metrics:
+            self.monitor.counter("retries_sent").inc()
+        if notify:
+            for partition in payload.involved():
+                if partition != self.partition:
+                    self._send_to_partition(
+                        partition,
+                        TransferFailed(
+                            payload.command.uid, self.partition, payload.attempt
+                        ),
+                    )
+        if payload.target == self.partition:
+            self.aborted_cmds.add(key)
+            self._bounce_received(key)
+
+    def _bounce_received(self, key: tuple) -> None:
+        """Return unmodified any borrowed variables already received for
+        an aborted command attempt."""
+        cmd_uid, attempt = key
+        for source, pairs in self.recv_transfers.get(key, {}).items():
+            self._send_to_partition(
+                source, VarReturn(cmd_uid, self.partition, pairs, attempt)
+            )
+        self.recv_transfers.pop(key, None)
+
+    def _cleanup_cmd(self, key: tuple) -> None:
+        self._finished_cmds.add(key)
+        self.recv_transfers.pop(key, None)
+        self.recv_returns.pop(key, None)
+        self.transfer_failures.pop(key, None)
+
+    # -- transfer plumbing ------------------------------------------------------------------
+
+    def _on_var_transfer(self, msg: VarTransfer) -> None:
+        if msg.key in self._finished_cmds:
+            return  # late duplicate from the source's other replica
+        if msg.key in self.aborted_cmds:
+            # Late transfer for an aborted gather: bounce it straight back.
+            self._send_to_partition(
+                msg.from_partition,
+                VarReturn(msg.cmd_uid, self.partition, msg.vars, msg.attempt),
+            )
+            return
+        buf = self.recv_transfers.setdefault(msg.key, {})
+        if msg.from_partition not in buf:  # dedup replica copies
+            buf[msg.from_partition] = msg.vars
+        self._pump()
+
+    def _on_var_return(self, msg: VarReturn) -> None:
+        if msg.key in self._finished_cmds:
+            return
+        buf = self.recv_returns.setdefault(msg.key, {})
+        if msg.from_partition not in buf:
+            buf[msg.from_partition] = msg.vars
+        self._pump()
+
+    def _on_transfer_failed(self, msg: TransferFailed) -> None:
+        self.transfer_failures.setdefault(msg.key, set()).add(
+            msg.from_partition
+        )
+        self._pump()
+
+    # -- create / delete -----------------------------------------------------------------------
+
+    def _apply_create(self, payload: CreateVar) -> bool:
+        if payload.partition != self.partition:
+            return True
+        self.store.put(payload.var, self.app.initial_value_of(payload.var))
+        self._index_var(payload.var)
+        self.owned_nodes.add(payload.node)
+        self.last_plan[payload.node] = self.partition
+        self._reply(payload, ReplyStatus.OK, True)
+        return True
+
+    def _apply_delete(self, payload: DeleteVar) -> bool:
+        if payload.partition != self.partition:
+            return True
+        self.store.discard(payload.var)
+        self._unindex_var(payload.var)
+        self.owned_nodes.discard(payload.node)
+        self._reply(payload, ReplyStatus.OK, True)
+        return True
+
+    # -- repartitioning (Task 3) -------------------------------------------------------------------
+
+    def _apply_plan(self, plan: PartitionPlan) -> bool:
+        if plan.version <= self.version:
+            return True
+        self.version = plan.version
+        assignment = plan.as_dict()
+        self.last_plan = dict(assignment)
+
+        moved_out_objects = 0
+        for node, new_owner in assignment.items():
+            if new_owner == self.partition:
+                if node not in self.owned_nodes:
+                    self.owned_nodes.add(node)
+                    early = self._early_plan_transfers.pop(node, None)
+                    if early is not None:
+                        self._install_node_vars(node, early)
+                    else:
+                        self.in_transit.add(node)
+            else:
+                if node in self.owned_nodes:
+                    self.owned_nodes.discard(node)
+                    self.in_transit.discard(node)
+                    vars_of_node = list(self.node_vars.get(node, ()))
+                    pairs = tuple(
+                        (var, self.store.get(var)) for var in vars_of_node
+                    )
+                    for var in vars_of_node:
+                        self.store.discard(var)
+                        self._unindex_var(var)
+                    self._send_to_partition(
+                        new_owner,
+                        PlanTransfer(plan.version, node, self.partition, pairs),
+                    )
+                    moved_out_objects += len(pairs)
+        if self._records_metrics:
+            self.monitor.counter("plan_objects_moved").inc(moved_out_objects)
+            self.monitor.series(f"objects:{self.partition}").record(
+                self.now, moved_out_objects
+            )
+        return True
+
+    def _install_node_vars(self, node: Any, pairs: tuple) -> None:
+        for var, value in pairs:
+            self.store.insert_copy(var, value)
+            self._index_var(var)
+
+    def _on_plan_transfer(self, msg: PlanTransfer) -> None:
+        key = (msg.version, msg.node, msg.from_partition)
+        if key in self._plan_transfer_seen:
+            return
+        self._plan_transfer_seen.add(key)
+        if msg.version > self.version:
+            # Our copy of the plan has not arrived yet; hold the variables.
+            self._early_plan_transfers[msg.node] = msg.vars
+            self._pump()
+            return
+        if msg.node in self.in_transit:
+            self._install_node_vars(msg.node, msg.vars)
+            self.in_transit.discard(msg.node)
+            self._pump()
+            return
+        if msg.node not in self.owned_nodes:
+            # The node has already moved on under a newer plan; forward.
+            owner = self.last_plan.get(msg.node)
+            if owner is not None and owner != self.partition:
+                self._send_to_partition(
+                    owner,
+                    PlanTransfer(self.version, msg.node, self.partition, msg.vars),
+                )
+        # Owned and settled: duplicate copy, nothing to do.
+
+    # -- workload hints ---------------------------------------------------------------------------------
+
+    def _record_hint(self, nodes) -> None:
+        if not self.hints_enabled:
+            return
+        nodes = sorted(nodes, key=repr)
+        for node in nodes:
+            self._hint_vertices[node] += 1
+        if len(nodes) <= CLIQUE_HINT_LIMIT:
+            for i, u in enumerate(nodes):
+                for v in nodes[i + 1 :]:
+                    self._hint_edges[(u, v)] += 1
+        else:
+            hub = nodes[0]
+            for v in nodes[1:]:
+                self._hint_edges[(hub, v)] += 1
+
+    def _flush_hints(self) -> None:
+        seq = self._hint_seq
+        self._hint_seq += 1  # advance even when empty: keeps replicas in step
+        if not self._hint_vertices and not self._hint_edges:
+            return
+        hint = ExecutionHint(
+            partition=self.partition,
+            seq=seq,
+            vertices=tuple(self._hint_vertices.items()),
+            edges=tuple(
+                (u, v, w) for (u, v), w in self._hint_edges.items()
+            ),
+        )
+        self._hint_vertices.clear()
+        self._hint_edges.clear()
+        message = MulticastMessage(
+            uid=f"hint:{self.partition}:{seq}",
+            dests=(self.oracle_group,),
+            payload=hint,
+        )
+        self._directory.amcast_local(self, message)
+
+    # -- plumbing ----------------------------------------------------------------------------------------
+
+    def _reply(self, payload, status: ReplyStatus, result: Any = None) -> None:
+        self.send(
+            payload.client,
+            Reply(
+                uid=payload.command.uid,
+                status=status,
+                result=result,
+                attempt=payload.attempt,
+                partition=self.partition,
+            ),
+        )
+
+    def _send_to_partition(self, partition: str, message: Any) -> None:
+        for replica in self._directory.replicas_of(partition):
+            self.send(replica, message)

@@ -1,0 +1,297 @@
+"""System builder: wires oracle, partitions, and clients onto a network.
+
+``DynaStarSystem`` is the public entry point of the library::
+
+    from repro.core import DynaStarSystem, SystemConfig
+    from repro.smr import KeyValueApp
+
+    app = KeyValueApp({"x": 0, "y": 0})
+    system = DynaStarSystem(app, SystemConfig(n_partitions=2, seed=7))
+    client = system.add_client(ScriptedWorkload([...]))
+    system.run(until=10.0)
+
+Modes: ``dynastar`` (default), ``ssmr`` (static partitioning, S-SMR
+execution model), ``dssmr`` (naive dynamic migration).  The initial
+placement may be ``"random"``, ``"hash"``, or an explicit node ->
+partition mapping (e.g. a METIS-optimized one for S-SMR*).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from repro.consensus.group import GroupConfig
+from repro.consensus.paxos import ReplicaConfig
+from repro.core.client import DynaStarClient, Workload
+from repro.core.oracle import OracleReplica
+from repro.core.server import PartitionServer
+from repro.multicast.basecast import GroupDirectory
+from repro.partitioning.graph import Partitioning
+from repro.sim.events import Simulator
+from repro.sim.latency import LatencyModel, lan_default
+from repro.sim.monitor import Monitor
+from repro.sim.network import Network
+from repro.sim.randomness import SeedSequenceFactory
+from repro.smr.linearizability import History
+from repro.smr.statemachine import AppStateMachine
+
+
+@dataclass
+class SystemConfig:
+    """Deployment shape and protocol tuning for one experiment."""
+
+    n_partitions: int = 4
+    n_replicas: int = 2
+    n_acceptors: int = 3
+    seed: int = 1
+    mode: str = "dynastar"  # dynastar | ssmr | dssmr
+    placement: Union[str, dict, Partitioning] = "random"
+    repartition_enabled: bool = True
+    repartition_threshold: int = 2000
+    plan_compute_cost: float = 1e-6
+    imbalance: float = 0.20
+    hint_period: float = 1.0
+    #: Virtual CPU seconds one command execution occupies its partition
+    #: (0 = infinitely fast servers; benchmarks use ~1-2 ms so throughput
+    #: saturates with the number of partitions as on real hardware).
+    service_time: float = 0.0
+    latency: Optional[LatencyModel] = None
+    oracle_dispatch: bool = False  # base protocol: oracle forwards commands
+    #: Target-partition selection for multi-partition commands
+    #: ("most_nodes" is the paper's rule; others exist for ablations).
+    target_policy: str = "most_nodes"
+    #: Workload-graph weight decay applied after each plan computation
+    #: (1.0 = never forget; smaller adapts faster to workload shifts).
+    graph_decay: float = 0.5
+    replica: ReplicaConfig = field(default_factory=ReplicaConfig)
+
+
+class DynaStarSystem:
+    """A complete simulated deployment of DynaStar (or a baseline)."""
+
+    def __init__(
+        self,
+        app: AppStateMachine,
+        config: Optional[SystemConfig] = None,
+        monitor: Optional[Monitor] = None,
+    ):
+        self.app = app
+        self.config = config or SystemConfig()
+        self.monitor = monitor or Monitor()
+        cfg = self.config
+        if cfg.mode not in ("dynastar", "ssmr", "dssmr"):
+            raise ValueError(f"unknown mode {cfg.mode!r}")
+
+        self.seeds = SeedSequenceFactory(cfg.seed)
+        self.sim = Simulator()
+        self.net = Network(
+            self.sim,
+            default_latency=cfg.latency or lan_default(),
+            rng=self.seeds.rng("network"),
+        )
+        self.directory = GroupDirectory(self.net)
+        self.partition_names = [f"p{i}" for i in range(cfg.n_partitions)]
+        self.oracle_group = "oracle"
+        self.clients: list[DynaStarClient] = []
+        self._started = False
+        self._client_seq = 0
+
+        group_config = GroupConfig(
+            n_replicas=cfg.n_replicas,
+            n_acceptors=cfg.n_acceptors,
+            replica=cfg.replica,
+        )
+
+        server_factory = self._server_factory()
+        for name in self.partition_names:
+            self.directory.create_group(
+                name,
+                config=group_config,
+                replica_factory=server_factory,
+                rng=self.seeds.rng(f"group:{name}"),
+            )
+
+        def oracle_factory(**kwargs):
+            kwargs.pop("on_deliver", None)
+            kwargs.pop("on_adeliver", None)
+            return OracleReplica(
+                app=self.app,
+                partition_names=self.partition_names,
+                monitor=self.monitor,
+                mode=cfg.mode,
+                repartition_threshold=cfg.repartition_threshold,
+                repartition_enabled=cfg.repartition_enabled,
+                plan_compute_cost=cfg.plan_compute_cost,
+                imbalance=cfg.imbalance,
+                target_policy=cfg.target_policy,
+                graph_decay=cfg.graph_decay,
+                **kwargs,
+            )
+
+        self.directory.create_group(
+            self.oracle_group,
+            config=group_config,
+            replica_factory=oracle_factory,
+            rng=self.seeds.rng("group:oracle"),
+        )
+
+        self.initial_assignment = self._resolve_placement()
+        self._preload()
+
+    # -- construction helpers ----------------------------------------------
+
+    def _server_factory(self):
+        cfg = self.config
+        system = self
+
+        def factory(**kwargs):
+            kwargs.pop("on_deliver", None)
+            kwargs.pop("on_adeliver", None)
+            return system._make_server(**kwargs)
+
+        return factory
+
+    def _make_server(self, **kwargs) -> PartitionServer:
+        """Subclass hook: baselines substitute their server class here."""
+        cfg = self.config
+        return PartitionServer(
+            app=self.app,
+            monitor=self.monitor,
+            mode=cfg.mode,
+            oracle_group=self.oracle_group,
+            hint_period=cfg.hint_period,
+            service_time=cfg.service_time,
+            **kwargs,
+        )
+
+    def _resolve_placement(self) -> dict:
+        """node -> partition-name map for the initial state."""
+        cfg = self.config
+        variables = self.app.initial_variables()
+        nodes = sorted({self.app.graph_node_of(v) for v in variables}, key=repr)
+        if isinstance(cfg.placement, Partitioning):
+            raw = cfg.placement.assignment
+        elif isinstance(cfg.placement, dict):
+            raw = cfg.placement
+        elif cfg.placement == "random":
+            rng = self.seeds.rng("placement")
+            raw = {n: rng.randrange(cfg.n_partitions) for n in nodes}
+        elif cfg.placement == "hash":
+            raw = {n: abs(hash(repr(n))) % cfg.n_partitions for n in nodes}
+        else:
+            raise ValueError(f"unknown placement {cfg.placement!r}")
+        assignment = {}
+        for node in nodes:
+            part = raw.get(node, 0)
+            if isinstance(part, int):
+                part = self.partition_names[part % cfg.n_partitions]
+            assignment[node] = part
+        return assignment
+
+    def _preload(self) -> None:
+        variables = self.app.initial_variables()
+        per_partition: dict[str, dict] = {p: {} for p in self.partition_names}
+        per_partition_nodes: dict[str, set] = {p: set() for p in self.partition_names}
+        for var, value in variables.items():
+            node = self.app.graph_node_of(var)
+            partition = self.initial_assignment[node]
+            per_partition[partition][var] = value
+            per_partition_nodes[partition].add(node)
+        # Nodes can exist with zero initial variables only via create;
+        # ensure every assigned node is owned somewhere.
+        for node, partition in self.initial_assignment.items():
+            per_partition_nodes[partition].add(node)
+
+        for partition in self.partition_names:
+            for replica in self.directory.groups[partition].replicas:
+                replica.preload(
+                    per_partition[partition],
+                    per_partition_nodes[partition],
+                    dict(self.initial_assignment),
+                )
+        for replica in self.directory.groups[self.oracle_group].replicas:
+            replica.preload_locations(self.initial_assignment)
+
+    # -- clients -------------------------------------------------------------
+
+    def add_client(
+        self,
+        workload: Workload,
+        name: Optional[str] = None,
+        use_cache: bool = True,
+        history: Optional[History] = None,
+        stop_at: Optional[float] = None,
+    ) -> DynaStarClient:
+        if name is None:
+            name = f"client{self._client_seq}"
+            self._client_seq += 1
+        client = DynaStarClient(
+            name=name,
+            app=self.app,
+            directory=self.directory,
+            workload=workload,
+            oracle_group=self.oracle_group,
+            monitor=self.monitor,
+            use_cache=use_cache,
+            dispatch_via_oracle=self.config.oracle_dispatch,
+            history=history,
+            stop_at=stop_at,
+            target_policy=self.config.target_policy,
+        )
+        self.net.register(client)
+        self.clients.append(client)
+        return client
+
+    # -- running --------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.directory.start()
+        for i, client in enumerate(self.clients):
+            # Tiny stagger so a thousand clients do not fire in one event.
+            self.sim.schedule(1e-6 * i, client.start)
+
+    def run(self, until: float) -> None:
+        self.start()
+        self.sim.run(until=until)
+
+    # -- introspection -----------------------------------------------------------
+
+    def partition_group(self, name_or_index):
+        if isinstance(name_or_index, int):
+            name_or_index = self.partition_names[name_or_index]
+        return self.directory.groups[name_or_index]
+
+    def oracle_replicas(self) -> list[OracleReplica]:
+        return self.directory.groups[self.oracle_group].replicas
+
+    def servers(self, partition) -> list[PartitionServer]:
+        return self.partition_group(partition).replicas
+
+    def all_store_variables(self) -> dict:
+        """Union of every partition's variables (read from the first live
+        replica of each); raises if a variable is owned by two partitions."""
+        merged: dict = {}
+        for partition in self.partition_names:
+            server = next(
+                (s for s in self.servers(partition) if not s.crashed), None
+            )
+            if server is None:
+                continue
+            for var, value in server.store.items():
+                if var in merged:
+                    raise AssertionError(
+                        f"variable {var!r} present in two partitions"
+                    )
+                merged[var] = value
+        return merged
+
+    def total_completed(self) -> int:
+        return sum(c.completed for c in self.clients)
+
+    def total_failed(self) -> int:
+        return sum(c.failed for c in self.clients)

@@ -1,0 +1,345 @@
+"""BaseCast: genuine atomic multicast over Multi-Paxos groups.
+
+Every group runs a deterministic Skeen state machine *inside* its Paxos
+log: both local ordering events and remote-timestamp events are consensus
+log entries, so all replicas of a group advance the same logical clock at
+the same log position and compute identical final timestamps.
+
+Message lifecycle for ``m`` with destinations {g, h}:
+
+1. The sender submits ``OrderEvent(m)`` to both groups (to every replica;
+   uid-dedup makes this idempotent and leader-crash tolerant).
+2. When group ``g`` delivers ``OrderEvent(m)`` from its log it assigns
+   local timestamp ``ts_g = ++clock``; its leader sends ``RemoteTs`` to
+   the replicas of every other destination group.
+3. A replica receiving ``RemoteTs`` resubmits it to its own group's log
+   as a ``TsEvent``; on delivery the group records the remote timestamp
+   and bumps ``clock = max(clock, ts)``.
+4. Once a group knows the timestamps of all destination groups, the final
+   timestamp is their max.  Messages are a-delivered in ``(final_ts,
+   uid)`` order once no pending message could precede them.
+
+Single-group messages skip steps 2-3: their local timestamp is final,
+which is why single-partition DynaStar commands are fundamentally cheaper
+than multi-partition ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.consensus.group import GroupConfig, PaxosGroup
+from repro.consensus.messages import Submit
+from repro.consensus.paxos import PaxosReplica, ReplicaConfig
+from repro.multicast.messages import MulticastMessage, OrderEvent, RemoteTs, TsEvent
+from repro.sim.network import Network
+
+
+@dataclass
+class _Pending:
+    """Per-message Skeen bookkeeping inside one group."""
+
+    message: MulticastMessage
+    local_ts: int
+    ts_from: dict = field(default_factory=dict)
+
+    @property
+    def final_ts(self) -> Optional[int]:
+        if len(self.ts_from) == len(self.message.dests):
+            return max(self.ts_from.values())
+        return None
+
+    @property
+    def effective_ts(self) -> int:
+        """Lower bound on the final timestamp (== final once complete)."""
+        final = self.final_ts
+        return final if final is not None else max(self.ts_from.values(), default=self.local_ts)
+
+
+class MulticastReplica(PaxosReplica):
+    """A Paxos replica that additionally runs the group's Skeen machine.
+
+    Applications receive a-delivered messages through :meth:`adeliver`
+    (override in subclasses) or the ``on_adeliver`` callback.
+    """
+
+    def __init__(self, *args, on_adeliver: Optional[Callable[[MulticastMessage], None]] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.on_adeliver = on_adeliver
+        self.clock = 0
+        self.pending_msgs: dict[str, _Pending] = {}
+        self.adelivered_uids: set[str] = set()
+        self.adelivered_count = 0
+        self._fifo_next: dict[str, int] = {}
+        self._fifo_blocked: dict[str, dict[int, MulticastMessage]] = {}
+        self._early_ts_store: dict[str, dict[str, int]] = {}
+        self._directory: Optional["GroupDirectory"] = None
+        self._retransmit_timer_armed = False
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_directory(self, directory: "GroupDirectory") -> None:
+        """Give this replica the group-name -> replica-names map it needs
+        to exchange timestamps with other groups."""
+        self._directory = directory
+
+    def start(self) -> None:
+        super().start()
+        if not self._retransmit_timer_armed:
+            self._retransmit_timer_armed = True
+            self.set_periodic_timer(0.25, self._retransmit_stalled)
+
+    # -- log delivery (the deterministic Skeen machine) --------------------------
+
+    def deliver_value(self, value: Any) -> None:
+        if isinstance(value, OrderEvent):
+            self._on_order_event(value.message)
+        elif isinstance(value, TsEvent):
+            self._on_ts_event(value)
+        else:
+            super().deliver_value(value)
+
+    def _on_order_event(self, msg: MulticastMessage) -> None:
+        if msg.uid in self.adelivered_uids or msg.uid in self.pending_msgs:
+            return
+        self.clock += 1
+        entry = _Pending(message=msg, local_ts=self.clock)
+        entry.ts_from[self.group] = self.clock
+        self.pending_msgs[msg.uid] = entry
+        if not msg.is_single_group:
+            self._send_ts(entry)
+        self._try_adeliver()
+
+    def _on_ts_event(self, event: TsEvent) -> None:
+        entry = self.pending_msgs.get(event.msg_uid)
+        if entry is None:
+            # Either already a-delivered, or the remote ts arrived before
+            # our own OrderEvent; buffer by re-checking once ordered.
+            if event.msg_uid not in self.adelivered_uids:
+                self._early_ts.setdefault(event.msg_uid, {})[event.from_group] = event.ts
+            self.clock = max(self.clock, event.ts)
+            return
+        entry.ts_from[event.from_group] = event.ts
+        self.clock = max(self.clock, event.ts)
+        self._try_adeliver()
+
+    # Early remote timestamps (TsEvent ordered before our OrderEvent).
+    @property
+    def _early_ts(self) -> dict:
+        return self._early_ts_store
+
+    def _send_ts(self, entry: _Pending) -> None:
+        """Ship this group's timestamp to the other destination groups.
+
+        Only the current leader sends (followers would duplicate); the
+        periodic retransmitter covers leader crashes.
+        """
+        msg = entry.message
+        early = self._early_ts.pop(msg.uid, None)
+        if early:
+            for from_group, ts in early.items():
+                entry.ts_from[from_group] = ts
+                self.clock = max(self.clock, ts)
+        if self.is_leader and self._directory is not None:
+            notice = RemoteTs(msg.uid, self.group, entry.ts_from[self.group])
+            for dest_group in msg.dests:
+                if dest_group != self.group:
+                    for replica in self._directory.replicas_of(dest_group):
+                        self.send(replica, notice)
+
+    def _retransmit_stalled(self) -> None:
+        """Leader re-ships timestamps for messages still missing remote
+        timestamps — covers RemoteTs lost to leader crashes."""
+        if not self.is_leader or self._directory is None:
+            return
+        for entry in self.pending_msgs.values():
+            msg = entry.message
+            if msg.is_single_group or entry.final_ts is not None:
+                continue
+            if self.group not in entry.ts_from:
+                continue
+            notice = RemoteTs(msg.uid, self.group, entry.ts_from[self.group])
+            for dest_group in msg.dests:
+                if dest_group != self.group:
+                    for replica in self._directory.replicas_of(dest_group):
+                        self.send(replica, notice)
+
+    # -- replica-to-replica timestamps -------------------------------------------
+
+    def on_other_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, RemoteTs):
+            # Route through our own log so every replica of this group
+            # processes the timestamp at the same log position.
+            event = TsEvent(message.msg_uid, message.from_group, message.ts)
+            if event.uid not in self.delivered_uids:
+                self.submit(event)
+        else:
+            self.on_app_message(sender, message)
+
+    def on_app_message(self, sender: str, message: Any) -> None:
+        """Hook for layers above the multicast (DynaStar servers)."""
+
+    # -- a-delivery ------------------------------------------------------------------
+
+    def _try_adeliver(self) -> None:
+        while self.pending_msgs:
+            head = min(
+                self.pending_msgs.values(),
+                key=lambda e: (e.effective_ts, e.message.uid),
+            )
+            if head.final_ts is None:
+                return
+            del self.pending_msgs[head.message.uid]
+            self.adelivered_uids.add(head.message.uid)
+            self._fifo_gate(head.message)
+
+    def _fifo_gate(self, msg: MulticastMessage) -> None:
+        """Hold back messages whose FIFO predecessors from the same sender
+        (among those addressed to this group) were not a-delivered yet."""
+        seq = msg.fifo_seq_for(self.group)
+        if not msg.fifo_key or seq is None:
+            self._adeliver(msg)
+            return
+        key = msg.fifo_key
+        expected = self._fifo_next.setdefault(key, 0)
+        if seq > expected:
+            self._fifo_blocked.setdefault(key, {})[seq] = msg
+            return
+        self._adeliver(msg)
+        self._fifo_next[key] = seq + 1
+        blocked = self._fifo_blocked.get(key, {})
+        while self._fifo_next[key] in blocked:
+            nxt = blocked.pop(self._fifo_next[key])
+            self._adeliver(nxt)
+            self._fifo_next[key] += 1
+
+    def _adeliver(self, msg: MulticastMessage) -> None:
+        self.adelivered_count += 1
+        self.adeliver(msg)
+
+    def adeliver(self, msg: MulticastMessage) -> None:
+        """A-delivery point; subclasses or the callback consume messages."""
+        if self.on_adeliver is not None:
+            self.on_adeliver(msg)
+
+
+class MulticastGroup(PaxosGroup):
+    """A Paxos group whose replicas run the multicast state machine."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        config: Optional[GroupConfig] = None,
+        replica_factory=None,
+        on_adeliver: Optional[Callable[[str, MulticastMessage], None]] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        def factory(**kwargs):
+            callback = None
+            if on_adeliver is not None:
+                rep_name = kwargs["name"]
+                callback = lambda m, rep_name=rep_name: on_adeliver(rep_name, m)
+            cls = replica_factory or MulticastReplica
+            kwargs.pop("on_deliver", None)
+            return cls(on_adeliver=callback, **kwargs)
+
+        super().__init__(name, network, config=config, replica_factory=factory, rng=rng)
+
+
+class GroupDirectory:
+    """Registry of multicast groups plus the sender-side a-mcast API."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.groups: dict[str, MulticastGroup] = {}
+        self._seq = itertools.count()
+        self._fifo_counters: dict[tuple[str, str], int] = {}
+
+    def add(self, group: MulticastGroup) -> MulticastGroup:
+        self.groups[group.name] = group
+        for replica in group.replicas:
+            replica.attach_directory(self)
+        return group
+
+    def create_group(
+        self,
+        name: str,
+        config: Optional[GroupConfig] = None,
+        replica_factory=None,
+        on_adeliver=None,
+        rng=None,
+    ) -> MulticastGroup:
+        group = MulticastGroup(
+            name,
+            self.network,
+            config=config,
+            replica_factory=replica_factory,
+            on_adeliver=on_adeliver,
+            rng=rng,
+        )
+        return self.add(group)
+
+    def replicas_of(self, group_name: str) -> list[str]:
+        return self.groups[group_name].replica_names
+
+    def group_names(self) -> list[str]:
+        return list(self.groups)
+
+    def start(self) -> None:
+        for group in self.groups.values():
+            group.start()
+
+    # -- sending -----------------------------------------------------------
+
+    def make_message(
+        self,
+        dests,
+        payload: Any,
+        uid: Optional[str] = None,
+        fifo_key: str = "",
+    ) -> MulticastMessage:
+        """Build a message; when ``fifo_key`` is set, per-(sender, group)
+        sequence numbers are assigned so destinations enforce FIFO order."""
+        if uid is None:
+            uid = f"m{next(self._seq)}"
+        dests = tuple(sorted(dests))
+        fifo_seqs = ()
+        if fifo_key:
+            seqs = []
+            for group in dests:
+                counter_key = (fifo_key, group)
+                seq = self._fifo_counters.get(counter_key, 0)
+                self._fifo_counters[counter_key] = seq + 1
+                seqs.append((group, seq))
+            fifo_seqs = tuple(seqs)
+        return MulticastMessage(
+            uid=uid,
+            dests=dests,
+            payload=payload,
+            fifo_key=fifo_key,
+            fifo_seqs=fifo_seqs,
+        )
+
+    def amcast(self, sender, message: MulticastMessage) -> None:
+        """Atomically multicast ``message`` from actor ``sender``: submit
+        an OrderEvent to every replica of every destination group."""
+        event = OrderEvent(message)
+        for group_name in message.dests:
+            for replica in self.replicas_of(group_name):
+                sender.send(replica, Submit(event))
+
+    def amcast_local(self, from_replica: MulticastReplica, message: MulticastMessage) -> None:
+        """a-mcast issued by a replica itself (e.g. the oracle multicasting
+        a partitioning plan): local group submits directly, remote groups
+        get Submit messages."""
+        event = OrderEvent(message)
+        for group_name in message.dests:
+            if group_name == from_replica.group:
+                from_replica.submit(event)
+            else:
+                for replica in self.replicas_of(group_name):
+                    from_replica.send(replica, Submit(event))

@@ -1,0 +1,26 @@
+"""Multilevel k-way graph partitioning (METIS substitute).
+
+The paper's oracle shells out to METIS to partition the workload graph,
+configured with a 20 % imbalance tolerance.  This package implements the
+same multilevel scheme METIS uses — heavy-edge-matching coarsening, a
+greedy region-growing initial partition, and boundary (FM-style)
+refinement during uncoarsening — entirely in Python, with the identical
+objective: minimize edge-cut subject to a vertex-weight balance
+constraint.
+
+Entry point: :func:`~repro.partitioning.metis.partition_graph`.
+"""
+
+from repro.partitioning.graph import WorkloadGraph, Partitioning
+from repro.partitioning.metis import partition_graph, PartitionerStats
+from repro.partitioning.quality import edge_cut, imbalance, part_weights
+
+__all__ = [
+    "WorkloadGraph",
+    "Partitioning",
+    "partition_graph",
+    "PartitionerStats",
+    "edge_cut",
+    "imbalance",
+    "part_weights",
+]

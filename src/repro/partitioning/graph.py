@@ -1,0 +1,215 @@
+"""Workload graph and partitioning data structures.
+
+The oracle builds a :class:`WorkloadGraph` on-the-fly from execution
+hints: vertices are state variables (or districts/users, depending on
+the application's granularity), vertex weights count accesses, and edge
+weights count commands that touched both endpoints (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Optional
+
+
+class WorkloadGraph:
+    """Undirected weighted graph with hashable vertex ids.
+
+    Self-loops are ignored (a command touching one variable adds no
+    dependency).  Adding an existing edge accumulates its weight, which is
+    exactly how repeated co-accesses strengthen an affinity.
+    """
+
+    def __init__(self) -> None:
+        self._adj: dict[Hashable, dict[Hashable, float]] = {}
+        self._vertex_weight: dict[Hashable, float] = {}
+        self._total_edge_weight = 0.0
+
+    # -- construction -------------------------------------------------------
+
+    def add_vertex(self, v: Hashable, weight: float = 1.0) -> None:
+        """Add ``v`` or *increase* its weight if already present."""
+        if v in self._adj:
+            self._vertex_weight[v] += weight
+        else:
+            self._adj[v] = {}
+            self._vertex_weight[v] = weight
+
+    def ensure_vertex(self, v: Hashable, weight: float = 1.0) -> None:
+        """Add ``v`` only if absent (does not touch existing weight)."""
+        if v not in self._adj:
+            self._adj[v] = {}
+            self._vertex_weight[v] = weight
+
+    def add_edge(self, u: Hashable, v: Hashable, weight: float = 1.0) -> None:
+        """Add or strengthen the edge ``{u, v}``; creates missing vertices."""
+        if u == v:
+            return
+        self.ensure_vertex(u)
+        self.ensure_vertex(v)
+        if v in self._adj[u]:
+            self._adj[u][v] += weight
+            self._adj[v][u] += weight
+        else:
+            self._adj[u][v] = weight
+            self._adj[v][u] = weight
+        self._total_edge_weight += weight
+
+    def remove_vertex(self, v: Hashable) -> None:
+        if v not in self._adj:
+            raise KeyError(v)
+        for neighbor, weight in self._adj[v].items():
+            del self._adj[neighbor][v]
+            self._total_edge_weight -= weight
+        del self._adj[v]
+        del self._vertex_weight[v]
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple]) -> "WorkloadGraph":
+        """Build from (u, v) or (u, v, weight) tuples."""
+        graph = cls()
+        for edge in edges:
+            if len(edge) == 2:
+                graph.add_edge(edge[0], edge[1])
+            else:
+                graph.add_edge(edge[0], edge[1], edge[2])
+        return graph
+
+    # -- queries ----------------------------------------------------------------
+
+    def __contains__(self, v: Hashable) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    @property
+    def total_vertex_weight(self) -> float:
+        return sum(self._vertex_weight.values())
+
+    @property
+    def total_edge_weight(self) -> float:
+        return self._total_edge_weight
+
+    def vertices(self) -> Iterator[Hashable]:
+        return iter(self._adj)
+
+    def neighbors(self, v: Hashable) -> dict[Hashable, float]:
+        """Neighbor -> edge weight mapping (do not mutate)."""
+        return self._adj[v]
+
+    def vertex_weight(self, v: Hashable) -> float:
+        return self._vertex_weight[v]
+
+    def edge_weight(self, u: Hashable, v: Hashable) -> float:
+        return self._adj.get(u, {}).get(v, 0.0)
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return v in self._adj.get(u, {})
+
+    def degree(self, v: Hashable) -> int:
+        return len(self._adj[v])
+
+    def weighted_degree(self, v: Hashable) -> float:
+        return sum(self._adj[v].values())
+
+    def edges(self) -> Iterator[tuple[Hashable, Hashable, float]]:
+        """Each undirected edge exactly once (by insertion-order tie)."""
+        seen = set()
+        for u in self._adj:
+            for v, w in self._adj[u].items():
+                if v not in seen:
+                    yield (u, v, w)
+            seen.add(u)
+
+    def scale_weights(self, factor: float, min_weight: float = 1e-6) -> None:
+        """Multiply every vertex and edge weight by ``factor`` in place.
+
+        The oracle uses this to *decay* the workload graph between
+        repartitionings so that recent access patterns dominate the next
+        plan — a graph that only ever accumulates would take ever longer
+        to notice a workload shift (e.g. the Fig 6 celebrity event).
+        Edges whose weight falls below ``min_weight`` are dropped.
+        """
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        for v in self._vertex_weight:
+            self._vertex_weight[v] = max(
+                min_weight, self._vertex_weight[v] * factor
+            )
+        dead: list[tuple] = []
+        self._total_edge_weight = 0.0
+        for u in self._adj:
+            for v in self._adj[u]:
+                w = self._adj[u][v] * factor
+                if w < min_weight:
+                    dead.append((u, v))
+                else:
+                    self._adj[u][v] = w
+                    self._total_edge_weight += w
+        self._total_edge_weight /= 2.0
+        seen = set()
+        for u, v in dead:
+            if (v, u) in seen:
+                continue
+            seen.add((u, v))
+            self._adj[u].pop(v, None)
+            self._adj[v].pop(u, None)
+
+    def copy(self) -> "WorkloadGraph":
+        clone = WorkloadGraph()
+        for v, weight in self._vertex_weight.items():
+            clone.ensure_vertex(v, weight)
+        for u, v, w in self.edges():
+            clone.add_edge(u, v, w)
+        return clone
+
+
+class Partitioning:
+    """An assignment of graph vertices to ``k`` parts plus its quality."""
+
+    def __init__(self, assignment: dict, k: int, version: int = 0):
+        self.assignment = dict(assignment)
+        self.k = k
+        self.version = version
+
+    def part_of(self, v: Hashable) -> Optional[int]:
+        return self.assignment.get(v)
+
+    def members(self, part: int) -> list:
+        return [v for v, p in self.assignment.items() if p == part]
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def edge_cut(self, graph: WorkloadGraph) -> float:
+        """Total weight of edges crossing parts."""
+        cut = 0.0
+        for u, v, w in graph.edges():
+            pu, pv = self.assignment.get(u), self.assignment.get(v)
+            if pu is not None and pv is not None and pu != pv:
+                cut += w
+        return cut
+
+    def part_weights(self, graph: WorkloadGraph) -> list[float]:
+        weights = [0.0] * self.k
+        for v, part in self.assignment.items():
+            if v in graph:
+                weights[part] += graph.vertex_weight(v)
+        return weights
+
+    def imbalance(self, graph: WorkloadGraph) -> float:
+        """max part weight / ideal part weight - 1 (0 == perfectly balanced)."""
+        weights = self.part_weights(graph)
+        total = sum(weights)
+        if total == 0:
+            return 0.0
+        ideal = total / self.k
+        return max(weights) / ideal - 1.0

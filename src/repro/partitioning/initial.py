@@ -1,0 +1,79 @@
+"""Initial partitioning of the coarsest graph: greedy graph growing.
+
+Parts 0..k-2 are grown one at a time from a random unassigned seed,
+always absorbing the unassigned vertex with the strongest connection to
+the growing region, until the region reaches its weight target; the
+remaining vertices form the last part.  This is the GGGP scheme of
+METIS, run directly k-way (the coarsest graph is small, so quality is
+recovered by refinement during uncoarsening).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+from repro.partitioning.coarsen import IntGraph
+
+
+def greedy_growing(graph: IntGraph, k: int, rng: random.Random) -> list[int]:
+    """Return ``assignment[u] in 0..k-1`` for every vertex of ``graph``."""
+    n = graph.n
+    if k <= 1:
+        return [0] * n
+    if k >= n:
+        # One vertex per part, heaviest vertices spread first.
+        order = sorted(range(n), key=lambda u: -graph.vwgt[u])
+        assignment = [0] * n
+        for i, u in enumerate(order):
+            assignment[u] = i % k
+        return assignment
+
+    total = graph.total_vwgt
+    target = total / k
+    assignment = [-1] * n
+    unassigned = n
+
+    for part in range(k - 1):
+        # Seed: random unassigned vertex.
+        seed = _pick_unassigned(assignment, rng, n)
+        if seed is None:
+            break
+        region_weight = 0.0
+        # Max-heap of (-connectivity, tiebreak, vertex).
+        heap: list[tuple[float, int, int]] = [(0.0, seed, seed)]
+        gains: dict[int, float] = {seed: 0.0}
+        while heap and region_weight < target:
+            neg_gain, _, u = heapq.heappop(heap)
+            if assignment[u] != -1 or gains.get(u, None) != -neg_gain:
+                continue
+            assignment[u] = part
+            unassigned -= 1
+            region_weight += graph.vwgt[u]
+            gains.pop(u, None)
+            for v, w in graph.adj[u].items():
+                if assignment[v] == -1:
+                    new_gain = gains.get(v, 0.0) + w
+                    gains[v] = new_gain
+                    heapq.heappush(heap, (-new_gain, v, v))
+            if not heap and region_weight < target:
+                # Region exhausted a component; jump to a fresh seed.
+                seed2 = _pick_unassigned(assignment, rng, n)
+                if seed2 is None:
+                    break
+                gains[seed2] = 0.0
+                heapq.heappush(heap, (0.0, seed2, seed2))
+
+    last = k - 1
+    for u in range(n):
+        if assignment[u] == -1:
+            assignment[u] = last
+    return assignment
+
+
+def _pick_unassigned(assignment: list[int], rng: random.Random, n: int):
+    """A uniformly random unassigned vertex, or ``None``."""
+    candidates = [u for u in range(n) if assignment[u] == -1]
+    if not candidates:
+        return None
+    return candidates[rng.randrange(len(candidates))]

@@ -1,0 +1,44 @@
+"""Partition-quality metrics: edge-cut, part weights, imbalance."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.partitioning.graph import WorkloadGraph
+
+
+def edge_cut(graph: WorkloadGraph, assignment: Mapping) -> float:
+    """Total weight of edges whose endpoints are in different parts."""
+    cut = 0.0
+    for u, v, w in graph.edges():
+        pu, pv = assignment.get(u), assignment.get(v)
+        if pu is not None and pv is not None and pu != pv:
+            cut += w
+    return cut
+
+
+def part_weights(graph: WorkloadGraph, assignment: Mapping, k: int) -> list[float]:
+    """Per-part total vertex weight."""
+    weights = [0.0] * k
+    for v in graph.vertices():
+        part = assignment.get(v)
+        if part is not None:
+            weights[part] += graph.vertex_weight(v)
+    return weights
+
+
+def imbalance(graph: WorkloadGraph, assignment: Mapping, k: int) -> float:
+    """max part weight / ideal - 1; 0 means perfectly balanced."""
+    weights = part_weights(graph, assignment, k)
+    total = sum(weights)
+    if total == 0:
+        return 0.0
+    return max(weights) / (total / k) - 1.0
+
+
+def cut_fraction(graph: WorkloadGraph, assignment: Mapping) -> float:
+    """Edge-cut as a fraction of the total edge weight (0..1)."""
+    total = graph.total_edge_weight
+    if total == 0:
+        return 0.0
+    return edge_cut(graph, assignment) / total

@@ -1,0 +1,160 @@
+"""Actor model on top of the event heap.
+
+An :class:`Actor` is a named node in the simulated system.  It receives
+messages through :meth:`Actor.on_message` (scheduled by the network with a
+sampled latency) and can set virtual-time timers.  Actors are single
+threaded by construction: at most one handler runs at a time, which makes
+protocol state machines easy to reason about and test.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.sim.events import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+
+class Timer:
+    """A cancellable, optionally periodic virtual-time timer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        periodic: bool = False,
+    ):
+        self._sim = sim
+        self._delay = delay
+        self._callback = callback
+        self._periodic = periodic
+        self._event: Optional[Event] = None
+        self._cancelled = False
+        self._fired = False
+        self._arm()
+
+    def _arm(self) -> None:
+        self._event = self._sim.schedule(self._delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        if self._periodic:
+            self._arm()
+        else:
+            self._fired = True
+        self._callback()
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+    @property
+    def active(self) -> bool:
+        """True while the timer still has a future firing pending."""
+        return not self._cancelled and not self._fired
+
+    def reset(self) -> None:
+        """Cancel the pending firing and re-arm from now."""
+        if self._event is not None:
+            self._event.cancel()
+        self._cancelled = False
+        self._fired = False
+        self._arm()
+
+
+class Actor:
+    """A named process in the simulated distributed system.
+
+    Subclasses override :meth:`on_message`.  Actors send messages through
+    the network they are registered with; a crashed actor silently drops
+    everything it receives and all of its timers stop firing.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.network: Optional["Network"] = None
+        self.crashed = False
+        self._timers: list[Timer] = []
+
+    # -- wiring -----------------------------------------------------------
+
+    @property
+    def sim(self) -> Simulator:
+        if self.network is None:
+            raise RuntimeError(f"actor {self.name!r} is not attached to a network")
+        return self.network.sim
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- messaging --------------------------------------------------------
+
+    def send(self, dest: str, message: Any) -> None:
+        """Send ``message`` to actor named ``dest`` (one-way, may be lost
+        if the destination crashed or the network drops it)."""
+        if self.network is None:
+            raise RuntimeError(f"actor {self.name!r} is not attached to a network")
+        if self.crashed:
+            return
+        self.network.send(self.name, dest, message)
+
+    def send_all(self, dests, message: Any) -> None:
+        """Send ``message`` to every actor in ``dests``."""
+        for dest in dests:
+            self.send(dest, message)
+
+    def on_message(self, sender: str, message: Any) -> None:
+        """Handle a delivered message; subclasses override."""
+        raise NotImplementedError
+
+    def deliver(self, sender: str, message: Any) -> None:
+        """Entry point used by the network; drops if crashed."""
+        if self.crashed:
+            return
+        self.on_message(sender, message)
+
+    # -- timers -----------------------------------------------------------
+
+    def set_timer(self, delay: float, callback: Callable[[], Any]) -> Timer:
+        """Run ``callback`` once after ``delay`` virtual seconds."""
+        timer = Timer(self.sim, delay, self._guard(callback))
+        self._timers.append(timer)
+        return timer
+
+    def set_periodic_timer(self, period: float, callback: Callable[[], Any]) -> Timer:
+        """Run ``callback`` every ``period`` virtual seconds."""
+        timer = Timer(self.sim, period, self._guard(callback), periodic=True)
+        self._timers.append(timer)
+        return timer
+
+    def _guard(self, callback: Callable[[], Any]) -> Callable[[], Any]:
+        def guarded() -> None:
+            if not self.crashed:
+                callback()
+
+        return guarded
+
+    # -- fault injection ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash-stop this actor: drop all future messages and timers."""
+        self.crashed = True
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+
+    def recover(self) -> None:
+        """Clear the crashed flag; protocol state must be rebuilt by the
+        subclass (volatile state is NOT restored automatically)."""
+        self.crashed = False
+
+    def __repr__(self) -> str:
+        state = " CRASHED" if self.crashed else ""
+        return f"<{type(self).__name__} {self.name}{state}>"

@@ -1,0 +1,141 @@
+"""Event heap and virtual clock.
+
+The simulator is a priority queue of timestamped callbacks.  Ties on the
+timestamp are broken by a monotonically increasing sequence number so the
+execution order of simultaneous events is deterministic and insertion
+ordered.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` and can be
+    cancelled with :meth:`Simulator.cancel` (or :meth:`Event.cancel`).
+    Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so it will not fire."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} seq={self.seq} fn={self.fn!r}{state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with a virtual clock.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "one virtual second elapsed")
+        sim.run(until=10.0)
+
+    The clock unit is the *simulated second*; all latency models and
+    experiment durations in this repository are expressed in seconds.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which may be cancelled before it fires.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self._now + delay, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        return self.schedule(time - self._now, fn, *args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        event.cancel()
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    def peek_time(self) -> Optional[float]:
+        """Return the virtual time of the next pending event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the number of events processed
+        by this call.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so repeated ``run`` calls
+        tile time contiguously.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._heap and not self._stopped:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.fn(*event.args)
+                processed += 1
+                self.events_processed += 1
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+            return processed
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,95 @@
+"""Network latency models.
+
+The paper's testbed is a LAN-like EC2 deployment; the default model used
+across experiments is a log-normal one-way delay with a sub-millisecond
+median, which reproduces the long-tailed RTTs of virtualized clusters.
+Models are objects so tests can swap in constant delays for exactness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class LatencyModel:
+    """Base class: callable returning a one-way delay in seconds."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected delay, used by admission/timeout heuristics."""
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed one-way delay; the workhorse for deterministic protocol tests."""
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Uniform delay in ``[low, high]`` seconds."""
+
+    def __init__(self, low: float, high: float):
+        if low < 0 or high < low:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normal delay parameterized by its median and tail spread.
+
+    ``median`` is the 50th-percentile one-way delay in seconds; ``sigma``
+    controls the heaviness of the tail (0.3 is a good LAN default).  An
+    optional ``floor`` lower-bounds samples, modelling the propagation
+    minimum below which no packet can arrive.
+    """
+
+    def __init__(self, median: float, sigma: float = 0.3, floor: float = 0.0):
+        if median <= 0:
+            raise ValueError("median must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.median = median
+        self.sigma = sigma
+        self.floor = floor
+        self._mu = math.log(median)
+
+    def sample(self, rng: random.Random) -> float:
+        return max(self.floor, rng.lognormvariate(self._mu, self.sigma))
+
+    def mean(self) -> float:
+        return math.exp(self._mu + self.sigma**2 / 2.0)
+
+    def __repr__(self) -> str:
+        return f"LogNormalLatency(median={self.median}, sigma={self.sigma})"
+
+
+#: Default model for all experiments: ~0.35 ms median one-way delay with a
+#: LAN-like tail, roughly matching intra-region EC2 placement.
+def lan_default() -> LatencyModel:
+    return LogNormalLatency(median=0.00035, sigma=0.35, floor=0.00008)

@@ -1,0 +1,213 @@
+"""Metrics collection for experiments.
+
+Four primitives, mirroring what the paper's figures plot:
+
+* :class:`Counter` — monotonically increasing event counts.
+* :class:`Gauge` — a value that moves up and down.
+* :class:`Histogram` — latency distributions (mean / percentiles / CDF).
+* :class:`TimeSeries` — per-second-bucketed rates, used for the
+  "throughput over time" style figures (Fig 2, 6, 8).
+
+A :class:`Monitor` is a named registry of these, shared by the actors of
+one experiment.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Optional
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Stores raw observations; computes summary statistics on demand.
+
+    Raw storage keeps percentile computation exact, which matters for the
+    p95 whiskers in Fig 4 and the CDFs in Fig 5.  Experiments are small
+    enough (≤ a few million samples) that exactness is affordable.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: list[float] = []
+        self._sorted: Optional[list[float]] = None
+
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = None
+
+    def extend(self, values: Iterable[float]) -> None:
+        self._samples.extend(values)
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def _ensure_sorted(self) -> list[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
+
+    def mean(self) -> float:
+        if not self._samples:
+            return math.nan
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile with linear interpolation; ``p`` in [0, 100]."""
+        if not self._samples:
+            return math.nan
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        data = self._ensure_sorted()
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return data[low]
+        frac = rank - low
+        value = data[low] * (1 - frac) + data[high] * frac
+        # Clamp: float interpolation may overshoot by an ulp for large values.
+        return min(max(value, data[low]), data[high])
+
+    def cdf(self, points: int = 100) -> list[tuple[float, float]]:
+        """``points`` evenly spaced (value, cumulative fraction) pairs."""
+        if not self._samples:
+            return []
+        data = self._ensure_sorted()
+        lo, hi = data[0], data[-1]
+        if lo == hi:
+            return [(lo, 1.0)]
+        result = []
+        for i in range(points + 1):
+            value = lo + (hi - lo) * i / points
+            frac = bisect.bisect_right(data, value) / len(data)
+            result.append((value, frac))
+        return result
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class TimeSeries:
+    """Events bucketed into fixed-width virtual-time windows.
+
+    ``record(t, amount)`` adds ``amount`` to the bucket containing time
+    ``t``; ``rates()`` yields (bucket_start, amount / width) pairs —
+    i.e. per-second rates when ``width == 1``.
+    """
+
+    def __init__(self, name: str, width: float = 1.0):
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        self.name = name
+        self.width = width
+        self._buckets: dict[int, float] = {}
+
+    def record(self, time: float, amount: float = 1.0) -> None:
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        self._buckets[int(time // self.width)] = (
+            self._buckets.get(int(time // self.width), 0.0) + amount
+        )
+
+    def buckets(self) -> list[tuple[float, float]]:
+        """Sorted (bucket_start_time, total) pairs, gaps filled with 0."""
+        if not self._buckets:
+            return []
+        first = min(self._buckets)
+        last = max(self._buckets)
+        return [
+            (i * self.width, self._buckets.get(i, 0.0)) for i in range(first, last + 1)
+        ]
+
+    def rates(self) -> list[tuple[float, float]]:
+        """Per-unit-time rates for each bucket."""
+        return [(t, total / self.width) for t, total in self.buckets()]
+
+    def total(self) -> float:
+        return sum(self._buckets.values())
+
+    def value_at(self, time: float) -> float:
+        return self._buckets.get(int(time // self.width), 0.0)
+
+
+class Monitor:
+    """Registry of named metrics shared by one experiment."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def series(self, name: str, width: float = 1.0) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name, width)
+        return self._series[name]
+
+    def counters(self) -> dict[str, int]:
+        return {name: c.value for name, c in self._counters.items()}
+
+    def snapshot(self) -> dict[str, dict]:
+        """A JSON-friendly dump of everything collected so far."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {n: h.summary() for n, h in self._histograms.items()},
+            "series": {n: s.buckets() for n, s in self._series.items()},
+        }

@@ -1,0 +1,176 @@
+"""Simulated message-passing network.
+
+Connects actors by name.  Each ``send`` samples a one-way delay from the
+applicable latency model and schedules delivery on the event heap.  The
+network supports:
+
+* per-destination-pair latency overrides (e.g. cross-datacenter links),
+* probabilistic message loss,
+* network partitions (a set of unordered name pairs that cannot talk),
+* message counters for experiment accounting.
+
+Reliable channels between correct processes (the system-model assumption
+in §2.1 of the paper) are obtained by leaving ``loss_probability`` at 0;
+loss is available for stress tests of the retransmission layers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Optional
+
+from repro.sim.actors import Actor
+from repro.sim.events import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+
+
+class NetworkPartitionError(RuntimeError):
+    """Raised when manipulating partitions with unknown actor names."""
+
+
+class Network:
+    """Name-addressed network with pluggable latency.
+
+    Parameters
+    ----------
+    sim:
+        The event heap messages are scheduled on.
+    default_latency:
+        Model used for every pair without an override.
+    rng:
+        RNG used for latency samples and loss draws; pass a seeded stream.
+    loss_probability:
+        Independent probability that any one message is silently dropped.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        default_latency: Optional[LatencyModel] = None,
+        rng: Optional[random.Random] = None,
+        loss_probability: float = 0.0,
+    ):
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        self.sim = sim
+        self.default_latency = default_latency or ConstantLatency(0.0005)
+        self.rng = rng or random.Random(0)
+        self.loss_probability = loss_probability
+        self._actors: dict[str, Actor] = {}
+        self._pair_latency: dict[tuple[str, str], LatencyModel] = {}
+        self._cut_links: set[frozenset[str]] = set()
+        self._directed_cuts: set[tuple[str, str]] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # -- membership ---------------------------------------------------------
+
+    def register(self, actor: Actor) -> Actor:
+        """Attach ``actor``; names must be unique."""
+        if actor.name in self._actors:
+            raise ValueError(f"duplicate actor name {actor.name!r}")
+        self._actors[actor.name] = actor
+        actor.network = self
+        return actor
+
+    def actor(self, name: str) -> Actor:
+        return self._actors[name]
+
+    def has_actor(self, name: str) -> bool:
+        return name in self._actors
+
+    @property
+    def actor_names(self) -> list[str]:
+        return list(self._actors)
+
+    # -- latency configuration ----------------------------------------------
+
+    def set_pair_latency(self, a: str, b: str, model: LatencyModel) -> None:
+        """Override latency for both directions between ``a`` and ``b``."""
+        self._pair_latency[(a, b)] = model
+        self._pair_latency[(b, a)] = model
+
+    def _latency_for(self, src: str, dst: str) -> LatencyModel:
+        return self._pair_latency.get((src, dst), self.default_latency)
+
+    # -- partitions -----------------------------------------------------------
+
+    def cut(self, a: str, b: str) -> None:
+        """Sever the bidirectional link between ``a`` and ``b``."""
+        for name in (a, b):
+            if name not in self._actors:
+                raise NetworkPartitionError(f"unknown actor {name!r}")
+        self._cut_links.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore the link between ``a`` and ``b``."""
+        self._cut_links.discard(frozenset((a, b)))
+
+    def partition_groups(self, side_a: list[str], side_b: list[str]) -> None:
+        """Cut every link crossing the two sides."""
+        for a, b in itertools.product(side_a, side_b):
+            self.cut(a, b)
+
+    def cut_oneway(self, src: str, dst: str) -> None:
+        """Sever only the ``src -> dst`` direction (asymmetric faults)."""
+        for name in (src, dst):
+            if name not in self._actors:
+                raise NetworkPartitionError(f"unknown actor {name!r}")
+        self._directed_cuts.add((src, dst))
+
+    def heal_oneway(self, src: str, dst: str) -> None:
+        self._directed_cuts.discard((src, dst))
+
+    def heal_all(self) -> None:
+        self._cut_links.clear()
+        self._directed_cuts.clear()
+
+    def link_up(self, a: str, b: str) -> bool:
+        return (
+            frozenset((a, b)) not in self._cut_links
+            and (a, b) not in self._directed_cuts
+        )
+
+    # -- transmission ---------------------------------------------------------
+
+    def send(self, src: str, dst: str, message: Any, size: int = 1) -> None:
+        """Queue ``message`` for delivery from ``src`` to ``dst``.
+
+        Messages to unknown destinations are dropped (the sender cannot
+        distinguish this from loss, matching an asynchronous system).
+        ``size`` is an abstract payload size used only for accounting.
+        """
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if dst not in self._actors:
+            self.messages_dropped += 1
+            return
+        if not self.link_up(src, dst):
+            self.messages_dropped += 1
+            return
+        if self.loss_probability > 0 and self.rng.random() < self.loss_probability:
+            self.messages_dropped += 1
+            return
+        delay = self._latency_for(src, dst).sample(self.rng)
+        self.sim.schedule(delay, self._deliver, src, dst, message)
+
+    def _deliver(self, src: str, dst: str, message: Any) -> None:
+        actor = self._actors.get(dst)
+        if actor is None or actor.crashed:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        actor.deliver(src, message)
+
+    # -- stats ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "sent": self.messages_sent,
+            "delivered": self.messages_delivered,
+            "dropped": self.messages_dropped,
+            "bytes": self.bytes_sent,
+        }

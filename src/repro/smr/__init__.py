@@ -1,0 +1,23 @@
+"""State-machine-replication framework shared by DynaStar and baselines.
+
+Defines the command/reply vocabulary, the application state-machine
+interface (the paper's ``PRObject`` / ``PartitionStateMachine``
+equivalents), the partition-local variable store, and a Wing & Gong
+linearizability checker used by the correctness tests.
+"""
+
+from repro.smr.command import Command, Reply, ReplyStatus
+from repro.smr.statemachine import AppStateMachine, VariableStore, KeyValueApp
+from repro.smr.linearizability import History, Operation, check_linearizable
+
+__all__ = [
+    "Command",
+    "Reply",
+    "ReplyStatus",
+    "AppStateMachine",
+    "VariableStore",
+    "KeyValueApp",
+    "History",
+    "Operation",
+    "check_linearizable",
+]

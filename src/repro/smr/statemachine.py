@@ -1,0 +1,256 @@
+"""Application state-machine interface and partition-local variable store.
+
+An application (Chirper, TPC-C, or a plain key-value store) implements
+:class:`AppStateMachine`:
+
+* ``variables_of(command)`` — the paper's ``vars(C)``: which state
+  variables a command reads/writes, computable without executing it.
+* ``graph_node_of(var)`` — the workload-graph granularity mapping (§5.3):
+  TPC-C maps rows to their district/warehouse node, Chirper maps each
+  user's objects to the user node.  Location (and relocation) is tracked
+  per *node*; variables move with their node, or individually when
+  borrowed.
+* ``execute(command, store)`` — deterministic execution against a
+  :class:`VariableStore`.
+
+Determinism contract: ``execute`` must depend only on the command and the
+store contents — no wall clock, no unseeded randomness — so that every
+replica of a partition computes identical results.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.smr.fastcopy import copy_value
+from typing import Any, Hashable, Iterable, Optional
+
+from repro.smr.command import Command
+
+
+@dataclass(frozen=True)
+class NodeWildcard:
+    """A ``variables_of`` entry meaning "every variable of this node".
+
+    Used by commands whose concrete read keys depend on state (e.g.
+    TPC-C Delivery scans for the oldest undelivered order).  Routing uses
+    the node; when the node must be borrowed for a multi-partition
+    command, the source ships all of the node's variables.
+    """
+
+    node: Hashable
+
+
+class VariableStore:
+    """The variables a partition currently holds.
+
+    Values are deep-copied on insertion from a transfer so partitions
+    never alias each other's state (the simulator shares one address
+    space; a real deployment would serialize).
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[Hashable, Any] = {}
+        self._written: Optional[set] = None
+        self._removed: Optional[set] = None
+
+    # -- mutation tracking (used by servers to learn inserts/deletes) ----
+
+    def begin_tracking(self) -> None:
+        """Start recording which variables are written or removed."""
+        self._written = set()
+        self._removed = set()
+
+    def end_tracking(self) -> tuple[set, set]:
+        """Stop recording; returns (written, removed) variable sets."""
+        written, removed = self._written or set(), self._removed or set()
+        self._written = None
+        self._removed = None
+        return written, removed
+
+    def _note_write(self, var: Hashable) -> None:
+        if self._written is not None:
+            self._written.add(var)
+            self._removed.discard(var)
+
+    def _note_remove(self, var: Hashable) -> None:
+        if self._removed is not None:
+            self._removed.add(var)
+            self._written.discard(var)
+
+    def __contains__(self, var: Hashable) -> bool:
+        return var in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, var: Hashable) -> Any:
+        return self._data[var]
+
+    def get_or_none(self, var: Hashable) -> Any:
+        return self._data.get(var)
+
+    def put(self, var: Hashable, value: Any) -> None:
+        self._data[var] = value
+        self._note_write(var)
+
+    def remove(self, var: Hashable) -> Any:
+        value = self._data.pop(var)
+        self._note_remove(var)
+        return value
+
+    def discard(self, var: Hashable) -> None:
+        if var in self._data:
+            del self._data[var]
+            self._note_remove(var)
+
+    def take(self, var: Hashable) -> Any:
+        """Remove and return a deep copy (used when lending variables)."""
+        value = copy_value(self._data.pop(var))
+        self._note_remove(var)
+        return value
+
+    def insert_copy(self, var: Hashable, value: Any) -> None:
+        self._data[var] = copy_value(value)
+        self._note_write(var)
+
+    def snapshot(self, vars: Iterable[Hashable]) -> dict:
+        """Deep-copied {var: value} for the requested variables."""
+        return {v: copy_value(self._data[v]) for v in vars if v in self._data}
+
+    def variables(self) -> list:
+        return list(self._data)
+
+    def items(self):
+        return self._data.items()
+
+
+class AppStateMachine:
+    """Base class for replicated applications."""
+
+    def variables_of(self, command: Command) -> frozenset:
+        """The state variables ``command`` reads or writes (``vars(C)``).
+
+        Entries may be concrete variable ids or :class:`NodeWildcard`
+        markers for commands whose concrete keys depend on state.
+        """
+        raise NotImplementedError
+
+    def graph_node_of(self, var: Hashable) -> Hashable:
+        """Workload-graph node a variable belongs to (defaults to itself)."""
+        return var
+
+    def nodes_of(self, command: Command) -> frozenset:
+        """Graph nodes touched by ``command`` (wildcards map to their node)."""
+        nodes = set()
+        for entry in self.variables_of(command):
+            if isinstance(entry, NodeWildcard):
+                nodes.add(entry.node)
+            else:
+                nodes.add(self.graph_node_of(entry))
+        return frozenset(nodes)
+
+    def concrete_variables_of(self, command: Command) -> set:
+        """``variables_of`` minus the wildcards."""
+        return {
+            v
+            for v in self.variables_of(command)
+            if not isinstance(v, NodeWildcard)
+        }
+
+    def wildcard_nodes_of(self, command: Command) -> set:
+        """Nodes whose full variable set the command may touch."""
+        return {
+            v.node
+            for v in self.variables_of(command)
+            if isinstance(v, NodeWildcard)
+        }
+
+    def borrow_variables(self, command: Command, node, store, node_vars):
+        """Which of wildcard ``node``'s variables to ship when lending it
+        for ``command``.
+
+        Called on the partition that *owns* the node, with its live
+        ``store`` and the node's current variable set ``node_vars``, in
+        SMR order — so the selection is deterministic and sees exactly
+        the state the command will execute against.  Return an iterable
+        of variable ids, or ``None`` to ship the whole node (the safe
+        default).  Applications override this to keep borrows
+        fine-grained ("only those objects will be moved on demand,
+        rather than the whole district" — §5.3).
+        """
+        return None
+
+    def execute(self, command: Command, store: VariableStore) -> Any:
+        """Apply ``command`` to ``store`` and return its result."""
+        raise NotImplementedError
+
+    def initial_variables(self) -> dict:
+        """{var: initial value} used to preload partitions."""
+        return {}
+
+    def initial_value_of(self, var: Hashable) -> Any:
+        """Initial value for a variable created by a ``create`` command."""
+        return None
+
+
+class KeyValueApp(AppStateMachine):
+    """A minimal multi-key read/write/transfer application.
+
+    Used throughout the unit tests and the quickstart example: small
+    enough to reason about, rich enough to produce single- and
+    multi-partition commands.
+
+    Operations:
+
+    * ``("read", key)`` -> value
+    * ``("write", key, value)`` -> old value
+    * ``("sum", key1, ..., keyN)`` -> sum of the values
+    * ``("transfer", src, dst, amount)`` -> (new_src, new_dst)
+    """
+
+    def __init__(self, initial: Optional[dict] = None):
+        self._initial = dict(initial or {})
+
+    def initial_variables(self) -> dict:
+        return dict(self._initial)
+
+    def initial_value_of(self, var: Hashable) -> Any:
+        return 0
+
+    def variables_of(self, command: Command) -> frozenset:
+        op = command.op
+        if op in ("read", "write"):
+            return frozenset({command.args[0]})
+        if op == "sum":
+            return frozenset(command.args)
+        if op == "transfer":
+            return frozenset(command.args[:2])
+        if op in ("create", "delete"):
+            return frozenset({command.args[0]})
+        raise ValueError(f"unknown op {op!r}")
+
+    def execute(self, command: Command, store: VariableStore) -> Any:
+        op = command.op
+        if op == "read":
+            return store.get(command.args[0])
+        if op == "write":
+            key, value = command.args
+            old = store.get_or_none(key)
+            store.put(key, value)
+            return old
+        if op == "sum":
+            return sum(store.get(k) for k in command.args)
+        if op == "transfer":
+            src, dst, amount = command.args
+            store.put(src, store.get(src) - amount)
+            store.put(dst, store.get(dst) + amount)
+            return (store.get(src), store.get(dst))
+        if op == "create":
+            store.put(command.args[0], self.initial_value_of(command.args[0]))
+            return True
+        if op == "delete":
+            store.discard(command.args[0])
+            return True
+        raise ValueError(f"unknown op {op!r}")

@@ -1,0 +1,1 @@
+"""Benchmark workloads: the Chirper social network (§5.4) and TPC-C (§5.3)."""

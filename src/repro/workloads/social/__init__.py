@@ -1,0 +1,22 @@
+"""Chirper: the Twitter-like social network service of §5.4.
+
+The paper uses the Higgs Twitter dataset (456 631 nodes, ~14.8 M edges);
+this package substitutes a seeded preferential-attachment generator that
+reproduces the dataset's power-law degree skew and reciprocity, at a
+configurable scale — plus a loader for real SNAP edge lists when the
+dataset is available.
+"""
+
+from repro.workloads.social.generator import SocialGraph, generate_social_graph, load_snap_edge_list
+from repro.workloads.social.chirper import ChirperApp, user_var
+from repro.workloads.social.workload import ChirperWorkload, CelebrityEvent
+
+__all__ = [
+    "SocialGraph",
+    "generate_social_graph",
+    "load_snap_edge_list",
+    "ChirperApp",
+    "user_var",
+    "ChirperWorkload",
+    "CelebrityEvent",
+]

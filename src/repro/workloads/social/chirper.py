@@ -1,0 +1,135 @@
+"""The Chirper application state machine (§5.4).
+
+Each user is one state variable (and one workload-graph node) holding
+their profile: follower/following sets and a bounded timeline.  Posting
+writes the message to the timeline of every follower — a potentially
+multi-partition command; reading the timeline touches only the user's
+own node; follow/unfollow touch two nodes.
+
+Posts are capped at 140 characters, like the paper's service.
+
+Operations (the follower list for a post is frozen into the command by
+the workload generator, so ``vars(C)`` is static):
+
+* ``("post", user, text, followers_tuple)``
+* ``("timeline", user)`` -> list of (author, text) newest first
+* ``("follow", follower, followee)``
+* ``("unfollow", follower, followee)``
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.smr.command import Command
+from repro.smr.statemachine import AppStateMachine, VariableStore
+from repro.workloads.social.generator import SocialGraph
+
+#: Timeline entries kept per user (bounds memory in long runs).
+TIMELINE_LIMIT = 50
+
+#: Paper constraint: 140-character messages.
+POST_LIMIT = 140
+
+
+def user_var(user: int) -> tuple:
+    """The state-variable id for a user."""
+    return ("user", user)
+
+
+def _new_profile() -> dict:
+    return {"followers": set(), "following": set(), "timeline": [], "posts": 0}
+
+
+class ChirperApp(AppStateMachine):
+    """Chirper on DynaStar: one variable == one user == one graph node."""
+
+    def __init__(self, graph: SocialGraph | None = None):
+        self._graph = graph or SocialGraph()
+
+    # -- bootstrap -------------------------------------------------------
+
+    def initial_variables(self) -> dict:
+        variables = {}
+        for user in self._graph.users():
+            profile = _new_profile()
+            profile["followers"] = set(self._graph.followers[user])
+            profile["following"] = set(self._graph.following[user])
+            variables[user_var(user)] = profile
+        return variables
+
+    def initial_value_of(self, var: Hashable) -> dict:
+        return _new_profile()
+
+    # -- routing ------------------------------------------------------------
+
+    def variables_of(self, command: Command) -> frozenset:
+        op = command.op
+        if op == "post":
+            user, _text, followers = command.args
+            return frozenset({user_var(user)} | {user_var(f) for f in followers})
+        if op == "timeline":
+            return frozenset({user_var(command.args[0])})
+        if op in ("follow", "unfollow"):
+            a, b = command.args
+            return frozenset({user_var(a), user_var(b)})
+        if op in ("create", "delete"):
+            return frozenset({user_var(command.args[0])})
+        raise ValueError(f"unknown chirper op {op!r}")
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, command: Command, store: VariableStore):
+        op = command.op
+        if op == "post":
+            return self._post(command, store)
+        if op == "timeline":
+            profile = store.get(user_var(command.args[0]))
+            return list(reversed(profile["timeline"]))
+        if op == "follow":
+            return self._follow(command, store, add=True)
+        if op == "unfollow":
+            return self._follow(command, store, add=False)
+        if op == "create":
+            store.put(user_var(command.args[0]), _new_profile())
+            return True
+        if op == "delete":
+            store.discard(user_var(command.args[0]))
+            return True
+        raise ValueError(f"unknown chirper op {op!r}")
+
+    def _post(self, command: Command, store: VariableStore):
+        user, text, followers = command.args
+        if len(text) > POST_LIMIT:
+            raise ValueError(f"post exceeds {POST_LIMIT} characters")
+        author = store.get(user_var(user))
+        author["posts"] += 1
+        store.put(user_var(user), author)
+        entry = (user, text)
+        delivered = 0
+        for follower in followers:
+            var = user_var(follower)
+            if var not in store:
+                continue  # follower deleted since the command was issued
+            profile = store.get(var)
+            profile["timeline"].append(entry)
+            if len(profile["timeline"]) > TIMELINE_LIMIT:
+                del profile["timeline"][: -TIMELINE_LIMIT]
+            store.put(var, profile)
+            delivered += 1
+        return delivered
+
+    def _follow(self, command: Command, store: VariableStore, add: bool):
+        follower, followee = command.args
+        fv, ev = user_var(follower), user_var(followee)
+        follower_profile = store.get(fv)
+        followee_profile = store.get(ev)
+        if add:
+            follower_profile["following"].add(followee)
+            followee_profile["followers"].add(follower)
+        else:
+            follower_profile["following"].discard(followee)
+            followee_profile["followers"].discard(follower)
+        store.put(fv, follower_profile)
+        store.put(ev, followee_profile)
+        return True

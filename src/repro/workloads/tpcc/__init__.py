@@ -1,0 +1,56 @@
+"""TPC-C on DynaStar (§5.3).
+
+Every table row is a DynaStar state variable; the workload graph is kept
+at district/warehouse granularity exactly as the paper describes: rows of
+a district (customers, orders, order lines, new-orders, history) belong
+to the district node, stock rows belong to the warehouse node, and a
+transaction touching a district and a warehouse adds an edge between
+those two nodes.
+
+The ITEM table is an immutable catalog in TPC-C (never written); we keep
+it as deterministic application constants rather than replicated state,
+which sidesteps the undefined "which partition owns the item table"
+question without changing any transaction's cross-partition behaviour.
+
+The scale is configurable (``TPCCConfig``) and defaults well below the
+spec's 3 000 customers/district so simulations stay laptop-sized; the
+access *skew* (1 % remote new-order lines, 15 % remote payments) follows
+the spec and is what generates cross-warehouse edges.
+"""
+
+from repro.workloads.tpcc.schema import (
+    TPCCConfig,
+    warehouse_key,
+    district_key,
+    customer_key,
+    order_key,
+    new_order_key,
+    order_line_key,
+    stock_key,
+    history_key,
+    item_price,
+    warehouse_node,
+    district_node,
+)
+from repro.workloads.tpcc.loader import build_initial_variables
+from repro.workloads.tpcc.transactions import TPCCApp
+from repro.workloads.tpcc.workload import TPCCWorkload, TRANSACTION_MIX
+
+__all__ = [
+    "TPCCConfig",
+    "TPCCApp",
+    "TPCCWorkload",
+    "TRANSACTION_MIX",
+    "build_initial_variables",
+    "warehouse_key",
+    "district_key",
+    "customer_key",
+    "order_key",
+    "new_order_key",
+    "order_line_key",
+    "stock_key",
+    "history_key",
+    "item_price",
+    "warehouse_node",
+    "district_node",
+]

@@ -1,0 +1,40 @@
+"""Initial TPC-C database population."""
+
+from __future__ import annotations
+
+from repro.workloads.tpcc.schema import (
+    TPCCConfig,
+    customer_key,
+    district_key,
+    new_customer_row,
+    new_district_row,
+    new_stock_row,
+    new_warehouse_row,
+    stock_key,
+    warehouse_key,
+)
+
+
+def build_initial_variables(config: TPCCConfig) -> dict:
+    """All rows of a freshly-loaded TPC-C database at ``config`` scale."""
+    variables: dict = {}
+    for w in range(1, config.n_warehouses + 1):
+        variables[warehouse_key(w)] = new_warehouse_row(w)
+        for i in range(1, config.n_items + 1):
+            variables[stock_key(w, i)] = new_stock_row(w, i, config.initial_stock)
+        for d in range(1, config.districts_per_warehouse + 1):
+            variables[district_key(w, d)] = new_district_row(w, d)
+            for c in range(1, config.customers_per_district + 1):
+                variables[customer_key(w, d, c)] = new_customer_row(w, d, c)
+    return variables
+
+
+def count_rows(config: TPCCConfig) -> int:
+    """Row count of the initial database (used by capacity planning and
+    the loader tests)."""
+    per_warehouse = (
+        1
+        + config.n_items
+        + config.districts_per_warehouse * (1 + config.customers_per_district)
+    )
+    return config.n_warehouses * per_warehouse

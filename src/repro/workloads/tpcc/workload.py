@@ -1,0 +1,134 @@
+"""TPC-C transaction mix generator.
+
+The standard mix from the spec (and §5.3): New-Order 45 %, Payment 43 %,
+Delivery 4 %, Order-Status 4 %, Stock-Level 4 %.  Each client is bound
+to a home warehouse round-robin (the paper deploys one warehouse per
+partition and scales clients per partition); remote accesses follow the
+spec: 1 % of order lines from a remote warehouse, 15 % of payments for a
+remote customer — these are what create warehouse-to-district edges
+across partitions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.client import Workload
+from repro.sim.randomness import weighted_choice
+from repro.smr.command import Command
+from repro.workloads.tpcc.schema import TPCCConfig
+
+#: (transaction, weight) — §5.3 / the TPC-C specification.
+TRANSACTION_MIX = (
+    ("new_order", 0.45),
+    ("payment", 0.43),
+    ("delivery", 0.04),
+    ("order_status", 0.04),
+    ("stock_level", 0.04),
+)
+
+
+class TPCCWorkload(Workload):
+    """Shared transaction generator for all clients of an experiment."""
+
+    def __init__(
+        self,
+        config: TPCCConfig,
+        seed: int = 0,
+        commands_per_client: Optional[int] = None,
+        home_warehouse: Optional[int] = None,
+    ):
+        self.config = config
+        self.rng = random.Random(seed)
+        self.commands_per_client = commands_per_client
+        self.home_warehouse = home_warehouse
+        self._issued: dict[str, int] = {}
+        self._homes: dict[str, int] = {}
+        self._next_home = 0
+        self.stats = {name: 0 for name, _ in TRANSACTION_MIX}
+
+    # -- helpers ------------------------------------------------------------
+
+    def _home_of(self, client) -> int:
+        if self.home_warehouse is not None:
+            return self.home_warehouse
+        if client.name not in self._homes:
+            self._homes[client.name] = 1 + (self._next_home % self.config.n_warehouses)
+            self._next_home += 1
+        return self._homes[client.name]
+
+    def _uid(self, client) -> str:
+        seq = self._issued.get(client.name, 0)
+        self._issued[client.name] = seq + 1
+        return f"{client.name}:{seq}"
+
+    def _random_remote_warehouse(self, home: int) -> int:
+        if self.config.n_warehouses == 1:
+            return home
+        while True:
+            w = self.rng.randint(1, self.config.n_warehouses)
+            if w != home:
+                return w
+
+    # -- transaction builders ----------------------------------------------------
+
+    def _build_new_order(self, uid: str, w: int) -> Command:
+        cfg = self.config
+        d = self.rng.randint(1, cfg.districts_per_warehouse)
+        c = self.rng.randint(1, cfg.customers_per_district)
+        n_lines = self.rng.randint(5, 15)
+        lines = []
+        for _ in range(n_lines):
+            item = self.rng.randint(1, cfg.n_items)
+            supply_w = w
+            if self.rng.random() < cfg.remote_order_line_prob:
+                supply_w = self._random_remote_warehouse(w)
+            qty = self.rng.randint(1, 10)
+            lines.append((item, supply_w, qty))
+        if self.rng.random() < cfg.invalid_item_prob:
+            # invalid item id triggers the spec's 1% rollback
+            lines[-1] = (cfg.n_items + 1, w, 1)
+        return Command(uid, "new_order", (w, d, c, tuple(lines)))
+
+    def _build_payment(self, uid: str, w: int) -> Command:
+        cfg = self.config
+        d = self.rng.randint(1, cfg.districts_per_warehouse)
+        c_w, c_d = w, d
+        if self.rng.random() < cfg.remote_payment_prob:
+            c_w = self._random_remote_warehouse(w)
+            c_d = self.rng.randint(1, cfg.districts_per_warehouse)
+        c = self.rng.randint(1, cfg.customers_per_district)
+        amount = round(self.rng.uniform(1.0, 5000.0), 2)
+        return Command(uid, "payment", (w, d, c_w, c_d, c, amount))
+
+    def _build_order_status(self, uid: str, w: int) -> Command:
+        cfg = self.config
+        d = self.rng.randint(1, cfg.districts_per_warehouse)
+        c = self.rng.randint(1, cfg.customers_per_district)
+        return Command(uid, "order_status", (w, d, c))
+
+    def _build_delivery(self, uid: str, w: int) -> Command:
+        return Command(uid, "delivery", (w, self.rng.randint(1, 10)))
+
+    def _build_stock_level(self, uid: str, w: int) -> Command:
+        d = self.rng.randint(1, self.config.districts_per_warehouse)
+        return Command(uid, "stock_level", (w, d, self.rng.randint(10, 20)))
+
+    # -- the generator -----------------------------------------------------------
+
+    def next_command(self, client) -> Optional[Command]:
+        issued = self._issued.get(client.name, 0)
+        if (
+            self.commands_per_client is not None
+            and issued >= self.commands_per_client
+        ):
+            return None
+        uid = self._uid(client)
+        home = self._home_of(client)
+        names = [name for name, _ in TRANSACTION_MIX]
+        weights = [weight for _, weight in TRANSACTION_MIX]
+        kind = weighted_choice(self.rng, names, weights)
+        self.stats[kind] += 1
+        builder = getattr(self, f"_build_{kind}")
+        return builder(uid, home)

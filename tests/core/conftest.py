@@ -1,0 +1,73 @@
+"""Shared fixtures for DynaStar core tests."""
+
+from repro.core import DynaStarSystem, SystemConfig
+from repro.core.client import CallbackWorkload, ScriptedWorkload
+from repro.sim import ConstantLatency
+from repro.smr import Command, KeyValueApp
+
+
+def kv_app(n_keys=8):
+    """Keys k0..k{n-1} with initial value = index."""
+    return KeyValueApp({f"k{i}": i for i in range(n_keys)})
+
+
+def build_system(
+    n_keys=8,
+    n_partitions=2,
+    seed=3,
+    repartition=False,
+    threshold=400,
+    mode="dynastar",
+    oracle_dispatch=False,
+    hint_period=0.5,
+    placement="random",
+):
+    app = kv_app(n_keys)
+    config = SystemConfig(
+        n_partitions=n_partitions,
+        seed=seed,
+        latency=ConstantLatency(0.001),
+        repartition_enabled=repartition,
+        repartition_threshold=threshold,
+        hint_period=hint_period,
+        mode=mode,
+        oracle_dispatch=oracle_dispatch,
+        placement=placement,
+    )
+    return DynaStarSystem(app, config)
+
+
+def run_script(system, commands, until=30.0, **client_kwargs):
+    client = system.add_client(ScriptedWorkload(commands), **client_kwargs)
+    system.run(until=until)
+    return client
+
+
+def ok_results(client):
+    from repro.smr.command import ReplyStatus
+
+    return {
+        uid: result
+        for uid, (status, result) in client.results.items()
+        if status == ReplyStatus.OK
+    }
+
+
+def assert_replicas_agree(system):
+    for partition in system.partition_names:
+        replicas = system.servers(partition)
+        baseline = dict(replicas[0].store.items())
+        for replica in replicas[1:]:
+            assert dict(replica.store.items()) == baseline, (
+                f"replica state divergence in {partition}"
+            )
+        owned = replicas[0].owned_nodes
+        for replica in replicas[1:]:
+            assert replica.owned_nodes == owned
+
+
+def assert_conservation(system, expected_vars):
+    merged = system.all_store_variables()
+    assert set(merged) == set(expected_vars), (
+        f"variables lost or duplicated: {set(merged) ^ set(expected_vars)}"
+    )

@@ -1,0 +1,232 @@
+"""Behavioural tests for the S-SMR and DS-SMR baselines."""
+
+import random
+
+import pytest
+
+from repro.baselines import DSSMRSystem, SSMRSystem, optimized_placement
+from repro.core import SystemConfig
+from repro.core.client import CallbackWorkload, ScriptedWorkload
+from repro.partitioning import WorkloadGraph
+from repro.sim import ConstantLatency
+from repro.smr import Command, KeyValueApp
+
+
+def kv_app(n):
+    return KeyValueApp({f"k{i}": i for i in range(n)})
+
+
+def make_ssmr(n_keys=8, n_partitions=2, seed=3, placement="random"):
+    return SSMRSystem(
+        kv_app(n_keys),
+        SystemConfig(
+            n_partitions=n_partitions,
+            seed=seed,
+            latency=ConstantLatency(0.001),
+            placement=placement,
+        ),
+    )
+
+
+def make_dssmr(n_keys=8, n_partitions=2, seed=3):
+    return DSSMRSystem(
+        kv_app(n_keys),
+        SystemConfig(
+            n_partitions=n_partitions, seed=seed, latency=ConstantLatency(0.001)
+        ),
+    )
+
+
+def split_keys(system):
+    loc = system.initial_assignment
+    keys = sorted(loc)
+    ka = keys[0]
+    kb = next(k for k in keys if loc[k] != loc[ka])
+    return ka, kb
+
+
+class TestSSMR:
+    def test_single_partition_commands_work(self):
+        system = make_ssmr()
+        client = system.add_client(
+            ScriptedWorkload([Command("c:0", "read", ("k2",))])
+        )
+        system.run(until=10.0)
+        assert client.completed == 1
+
+    def test_multi_partition_command_correct_result(self):
+        system = make_ssmr()
+        ka, kb = split_keys(system)
+        client = system.add_client(
+            ScriptedWorkload([Command("c:0", "sum", (ka, kb))])
+        )
+        system.run(until=10.0)
+        assert client.results["c:0"][1] == int(ka[1:]) + int(kb[1:])
+
+    def test_variables_never_move(self):
+        system = make_ssmr()
+        ka, kb = split_keys(system)
+        loc = system.initial_assignment
+        client = system.add_client(
+            ScriptedWorkload(
+                [Command(f"c:{i}", "transfer", (ka, kb, 1)) for i in range(10)]
+            )
+        )
+        system.run(until=30.0)
+        assert client.completed == 10
+        for key in (ka, kb):
+            server = system.servers(loc[key])[0]
+            assert key in server.store
+            assert system.app.graph_node_of(key) in server.owned_nodes
+
+    def test_writes_visible_on_both_partitions_afterwards(self):
+        system = make_ssmr()
+        ka, kb = split_keys(system)
+        client = system.add_client(
+            ScriptedWorkload(
+                [
+                    Command("c:0", "transfer", (ka, kb, 3)),
+                    Command("c:1", "read", (ka,)),
+                    Command("c:2", "read", (kb,)),
+                ]
+            )
+        )
+        system.run(until=15.0)
+        assert client.results["c:1"][1] == int(ka[1:]) - 3
+        assert client.results["c:2"][1] == int(kb[1:]) + 3
+
+    def test_never_repartitions(self):
+        system = make_ssmr()
+        ka, kb = split_keys(system)
+        system.add_client(
+            ScriptedWorkload(
+                [Command(f"c:{i}", "transfer", (ka, kb, 1)) for i in range(50)]
+            )
+        )
+        system.run(until=60.0)
+        assert system.oracle_replicas()[0].version == 0
+
+    def test_optimized_placement_reduces_multipartition_rate(self):
+        # workload graph: pairs (k0,k1), (k2,k3)... heavily co-accessed
+        n = 16
+        graph = WorkloadGraph()
+        for i in range(0, n, 2):
+            graph.add_edge(f"k{i}", f"k{i + 1}", 100.0)
+        placement = optimized_placement(graph, 4, seed=1)
+
+        def run(place):
+            system = SSMRSystem(
+                kv_app(n),
+                SystemConfig(
+                    n_partitions=4,
+                    seed=3,
+                    latency=ConstantLatency(0.001),
+                    placement=place,
+                ),
+            )
+            cmds = [
+                Command(f"c:{i}", "transfer", (f"k{2 * (i % 8)}", f"k{2 * (i % 8) + 1}", 1))
+                for i in range(80)
+            ]
+            client = system.add_client(ScriptedWorkload(cmds))
+            system.run(until=60.0)
+            assert client.completed == 80
+            return system.monitor.counters().get("multi_partition_commands", 0)
+
+        assert run(placement) == 0  # perfect partitioning: no cross commands
+        assert run("random") > 0
+
+
+class TestDSSMR:
+    def test_multi_partition_command_migrates_permanently(self):
+        system = make_dssmr()
+        ka, kb = split_keys(system)
+        client = system.add_client(
+            ScriptedWorkload([Command("c:0", "sum", (ka, kb))])
+        )
+        system.run(until=10.0)
+        assert client.completed == 1
+        # both keys now live on the same (target) partition
+        owners = []
+        for partition in system.partition_names:
+            server = system.servers(partition)[0]
+            if ka in server.store:
+                owners.append((partition, ka))
+            if kb in server.store:
+                owners.append((partition, kb))
+        assert len(owners) == 2
+        assert owners[0][0] == owners[1][0], "keys did not end up colocated"
+
+    def test_oracle_map_tracks_migrations(self):
+        system = make_dssmr()
+        ka, kb = split_keys(system)
+        system.add_client(ScriptedWorkload([Command("c:0", "sum", (ka, kb))]))
+        system.run(until=10.0)
+        loc = system.oracle_replicas()[0].location
+        assert loc[ka] == loc[kb]
+
+    def test_subsequent_commands_single_partition(self):
+        system = make_dssmr()
+        ka, kb = split_keys(system)
+        client = system.add_client(
+            ScriptedWorkload(
+                [
+                    Command("c:0", "sum", (ka, kb)),
+                    Command("c:1", "sum", (ka, kb)),
+                ]
+            )
+        )
+        system.run(until=15.0)
+        assert client.completed == 2
+        # the second sum found both keys colocated -> one migration only
+        assert system.monitor.counters().get("dssmr_migrations", 0) == 1
+
+    def test_thrashing_when_state_not_perfectly_partitionable(self):
+        """Spoke keys shared between two hub communities ping-pong under
+        DS-SMR's move-to-target policy (the pathology §7 describes)."""
+        placement = {
+            "k0": 0, "k1": 0,   # hub A (two nodes -> majority stays put)
+            "k2": 1, "k3": 1,   # hub B
+            "k4": 2, "k5": 2,   # shared spokes
+        }
+        system = DSSMRSystem(
+            kv_app(6),
+            SystemConfig(
+                n_partitions=3,
+                seed=3,
+                latency=ConstantLatency(0.001),
+                placement=placement,
+            ),
+        )
+        cmds = []
+        for i in range(30):
+            if i % 2 == 0:
+                cmds.append(Command(f"c:{i}", "sum", ("k0", "k1", "k4")))
+            else:
+                cmds.append(Command(f"c:{i}", "sum", ("k2", "k3", "k4")))
+        client = system.add_client(ScriptedWorkload(cmds))
+        system.run(until=60.0)
+        assert client.completed == 30
+        # k4 migrates on (nearly) every command: A pulls it, then B pulls it.
+        assert system.monitor.counters().get("dssmr_migrations", 0) >= 20
+
+    def test_conservation_under_migrations(self):
+        system = make_dssmr(n_keys=12, n_partitions=3)
+        rng = random.Random(5)
+        state = {"n": 0}
+
+        def gen(client):
+            if state["n"] >= 200:
+                return None
+            state["n"] += 1
+            a, b = rng.sample(range(12), 2)
+            return Command(
+                f"{client.name}:{state['n']}", "transfer", (f"k{a}", f"k{b}", 1)
+            )
+
+        clients = [system.add_client(CallbackWorkload(gen)) for _ in range(3)]
+        system.run(until=120.0)
+        assert sum(c.completed for c in clients) == 200
+        merged = system.all_store_variables()
+        assert set(merged) == {f"k{i}" for i in range(12)}
+        assert sum(merged.values()) == sum(range(12))

@@ -1,0 +1,105 @@
+"""Tests for the client location cache (§4.3): population, hits,
+invalidation on retry, and the create/delete paths that bypass it."""
+
+from repro.core.client import ScriptedWorkload
+from repro.smr import Command
+from repro.smr.command import CommandKind
+
+from tests.core.conftest import build_system
+
+
+class TestCachePopulation:
+    def test_prophecy_fills_cache(self):
+        system = build_system()
+        client = system.add_client(
+            ScriptedWorkload([Command("c:0", "sum", ("k0", "k1"))])
+        )
+        system.run(until=10.0)
+        assert client.cache.get("k0") == system.initial_assignment["k0"]
+        assert client.cache.get("k1") == system.initial_assignment["k1"]
+
+    def test_cache_hit_skips_oracle(self):
+        system = build_system()
+        client = system.add_client(
+            ScriptedWorkload(
+                [
+                    Command("c:0", "sum", ("k0", "k1")),
+                    Command("c:1", "sum", ("k0", "k1")),
+                    Command("c:2", "read", ("k1",)),
+                ]
+            )
+        )
+        system.run(until=20.0)
+        assert client.completed == 3
+        assert system.monitor.counters()["oracle_queries_total"] == 1
+
+    def test_partial_cache_miss_queries_oracle(self):
+        system = build_system()
+        client = system.add_client(
+            ScriptedWorkload(
+                [
+                    Command("c:0", "read", ("k0",)),
+                    Command("c:1", "sum", ("k0", "k2")),  # k2 unknown
+                ]
+            )
+        )
+        system.run(until=20.0)
+        assert system.monitor.counters()["oracle_queries_total"] == 2
+
+    def test_cache_disabled_always_queries(self):
+        system = build_system()
+        client = system.add_client(
+            ScriptedWorkload(
+                [Command(f"c:{i}", "read", ("k0",)) for i in range(4)]
+            ),
+            use_cache=False,
+        )
+        system.run(until=20.0)
+        assert client.completed == 4
+        assert system.monitor.counters()["oracle_queries_total"] == 4
+
+
+class TestCacheInvalidation:
+    def test_stale_entry_invalidated_on_retry(self):
+        system = build_system(n_keys=8, n_partitions=2)
+        client = system.add_client(
+            ScriptedWorkload([Command("c:0", "read", ("k0",))])
+        )
+        # Poison the cache before the client starts: the first dispatch
+        # goes to the wrong partition, which must answer RETRY.
+        real = system.initial_assignment["k0"]
+        wrong = next(p for p in system.partition_names if p != real)
+        client.cache["k0"] = wrong
+        system.run(until=30.0)
+        assert client.completed == 1
+        assert client.retries >= 1
+        assert client.cache["k0"] == real  # refreshed from the oracle
+
+    def test_creates_always_go_to_oracle(self):
+        system = build_system()
+        client = system.add_client(
+            ScriptedWorkload(
+                [
+                    Command("c:0", "create", ("zz",), kind=CommandKind.CREATE),
+                    Command("c:1", "create", ("yy",), kind=CommandKind.CREATE),
+                ]
+            )
+        )
+        system.run(until=20.0)
+        assert client.completed == 2
+        assert system.monitor.counters()["oracle_queries_total"] == 2
+
+    def test_created_variable_cached_for_subsequent_access(self):
+        system = build_system()
+        client = system.add_client(
+            ScriptedWorkload(
+                [
+                    Command("c:0", "create", ("zz",), kind=CommandKind.CREATE),
+                    Command("c:1", "read", ("zz",)),
+                ]
+            )
+        )
+        system.run(until=20.0)
+        assert client.completed == 2
+        # the read used the prophecy's location: only the create queried
+        assert system.monitor.counters()["oracle_queries_total"] == 1

@@ -1,0 +1,87 @@
+"""End-to-end fault tolerance: replica crashes must not lose commands,
+state, or consistency (the system tolerates f < n/2 acceptor failures and
+any minority of replicas per group)."""
+
+import pytest
+
+from repro.core.client import ScriptedWorkload
+from repro.smr import Command
+
+from tests.core.conftest import build_system, ok_results
+
+
+class TestServerReplicaCrash:
+    def test_partition_leader_crash_mid_workload(self):
+        system = build_system(n_keys=8, n_partitions=2, seed=3)
+        cmds = [Command(f"c:{i}", "write", ("k0", i)) for i in range(30)]
+        cmds.append(Command("c:final", "read", ("k0",)))
+        client = system.add_client(ScriptedWorkload(cmds))
+        # crash p0's initial leader replica shortly into the run
+        part = system.initial_assignment["k0"]
+        system.sim.schedule(0.05, system.servers(part)[0].crash)
+        system.run(until=60.0)
+        assert client.completed == 31
+        assert ok_results(client)["c:final"] == 29
+
+    def test_oracle_replica_crash(self):
+        system = build_system(n_keys=8, n_partitions=2, seed=3)
+        cmds = [Command(f"c:{i}", "read", (f"k{i % 8}",)) for i in range(16)]
+        client = system.add_client(ScriptedWorkload(cmds))
+        system.sim.schedule(
+            0.05, system.directory.groups[system.oracle_group].replicas[0].crash
+        )
+        system.run(until=60.0)
+        assert client.completed == 16
+
+    def test_acceptor_minority_crash_no_disruption(self):
+        system = build_system(n_keys=8, n_partitions=2, seed=3)
+        part = system.partition_names[0]
+        system.sim.schedule(
+            0.0, system.partition_group(part).acceptors[0].crash
+        )
+        cmds = [Command(f"c:{i}", "read", (f"k{i % 8}",)) for i in range(16)]
+        client = system.add_client(ScriptedWorkload(cmds))
+        system.run(until=30.0)
+        assert client.completed == 16
+
+    def test_multi_partition_commands_survive_source_leader_crash(self):
+        system = build_system(n_keys=8, n_partitions=2, seed=3)
+        loc = system.initial_assignment
+        keys = sorted(loc)
+        ka = keys[0]
+        kb = next(k for k in keys if loc[k] != loc[ka])
+        cmds = [Command(f"c:{i}", "transfer", (ka, kb, 1)) for i in range(20)]
+        client = system.add_client(ScriptedWorkload(cmds))
+        system.sim.schedule(0.1, system.servers(loc[kb])[0].crash)
+        system.run(until=120.0)
+        assert client.completed == 20
+        merged = system.all_store_variables()
+        assert merged[ka] == int(ka[1:]) - 20
+        assert merged[kb] == int(kb[1:]) + 20
+
+    def test_crash_during_repartitioning(self):
+        system = build_system(
+            n_keys=24, n_partitions=3, repartition=True, threshold=150, seed=6
+        )
+        cmds = []
+        for i in range(120):
+            pair = 2 * (i % 12)
+            cmds.append(
+                Command(f"c:{i}", "transfer", (f"k{pair}", f"k{pair + 1}", 1))
+            )
+        client = system.add_client(ScriptedWorkload(cmds))
+        # crash one replica of p1 while plans will be flying around
+        system.sim.schedule(1.0, system.servers("p1")[1].crash)
+        system.run(until=240.0)
+        assert client.completed == 120
+        # no variable lost: survivors of every partition hold a disjoint cover
+        seen = {}
+        for partition in system.partition_names:
+            for server in system.servers(partition):
+                if server.crashed:
+                    continue
+                for var, _ in server.store.items():
+                    assert var not in seen, f"{var} in {seen[var]} and {partition}"
+                    seen[var] = partition
+                break
+        assert set(seen) == {f"k{i}" for i in range(24)}

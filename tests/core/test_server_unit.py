@@ -1,0 +1,196 @@
+"""Focused unit tests for partition-server internals: borrow selection,
+wildcards, plan-transfer plumbing, and the service-time gate."""
+
+import pytest
+
+from repro.core.client import ScriptedWorkload
+from repro.smr import Command
+from repro.smr.statemachine import AppStateMachine, NodeWildcard, VariableStore
+
+from tests.core.conftest import build_system
+
+
+class WildcardApp(AppStateMachine):
+    """Two nodes ("left"/"right"), several vars each; ``scan`` reads every
+    variable of a node via a wildcard; ``peek`` reads one concrete var."""
+
+    def initial_variables(self):
+        return {("left", i): i for i in range(3)} | {
+            ("right", i): 10 + i for i in range(3)
+        }
+
+    def graph_node_of(self, var):
+        return var[0]
+
+    def variables_of(self, command):
+        if command.op == "scan":
+            return frozenset({NodeWildcard(command.args[0])})
+        if command.op == "scan_both":
+            return frozenset(
+                {NodeWildcard("left"), NodeWildcard("right")}
+            )
+        return frozenset({command.args[0]})
+
+    def borrow_variables(self, command, node, store, node_vars):
+        if command.op == "scan_both" and command.args and command.args[0] == "filtered":
+            # ship only index-0 vars: exercises the filter path
+            return [v for v in node_vars if v[1] == 0]
+        return None
+
+    def execute(self, command, store):
+        if command.op in ("scan", "scan_both"):
+            return sorted(
+                (v, store.get(v))
+                for v in store.variables()
+                if isinstance(v, tuple) and v[0] in ("left", "right")
+            )
+        return store.get(command.args[0])
+
+
+def wildcard_system(**kwargs):
+    from repro.core import DynaStarSystem, SystemConfig
+    from repro.sim import ConstantLatency
+
+    placement = {"left": 0, "right": 1}
+    return DynaStarSystem(
+        WildcardApp(),
+        SystemConfig(
+            n_partitions=2,
+            seed=1,
+            latency=ConstantLatency(0.001),
+            placement=placement,
+            **kwargs,
+        ),
+    )
+
+
+class TestWildcardBorrowing:
+    def test_single_node_scan_is_single_partition(self):
+        system = wildcard_system()
+        client = system.add_client(
+            ScriptedWorkload([Command("c:0", "scan", ("left",))])
+        )
+        system.run(until=10.0)
+        assert client.completed == 1
+        assert system.monitor.counters().get("multi_partition_commands", 0) == 0
+
+    def test_cross_node_scan_ships_whole_wildcard_node(self):
+        system = wildcard_system()
+        client = system.add_client(
+            ScriptedWorkload([Command("c:0", "scan_both", ())])
+        )
+        system.run(until=10.0)
+        assert client.completed == 1
+        result = client.results["c:0"][1]
+        assert len(result) == 6  # saw every var of both nodes
+
+    def test_borrow_filter_limits_shipping(self):
+        system = wildcard_system()
+        client = system.add_client(
+            ScriptedWorkload([Command("c:0", "scan_both", ("filtered",))])
+        )
+        system.run(until=10.0)
+        assert client.completed == 1
+        # only 1 var borrowed + returned across the wire (instead of 3)
+        assert system.monitor.counters()["objects_exchanged"] == 2
+
+    def test_borrowed_wildcard_vars_return_home(self):
+        system = wildcard_system()
+        client = system.add_client(
+            ScriptedWorkload(
+                [
+                    Command("c:0", "scan_both", ()),
+                    Command("c:1", "scan", ("right",)),
+                ]
+            )
+        )
+        system.run(until=20.0)
+        assert client.completed == 2
+        right_server = system.servers(system.initial_assignment["right"])[0]
+        assert all(("right", i) in right_server.store for i in range(3))
+
+
+class TestServiceGate:
+    def test_service_time_throttles_throughput(self):
+        from repro.core import DynaStarSystem, SystemConfig
+        from repro.sim import ConstantLatency
+        from repro.smr import KeyValueApp
+
+        app = KeyValueApp({"x": 0})
+        system = DynaStarSystem(
+            app,
+            SystemConfig(
+                n_partitions=1,
+                seed=1,
+                latency=ConstantLatency(0.0001),
+                service_time=0.01,  # 100 cmds/sec ceiling
+            ),
+        )
+        from repro.core.client import CallbackWorkload
+
+        def gen(client):
+            return Command(
+                f"{client.name}:{client.completed}", "read", ("x",)
+            )
+
+        for i in range(8):
+            system.add_client(CallbackWorkload(gen), stop_at=5.0)
+        system.run(until=5.0)
+        completed = system.total_completed()
+        assert completed <= 5.0 / 0.01 + 16  # ceiling plus boundary slack
+        assert completed > 300  # and the gate is not starving the server
+
+    def test_zero_service_time_unthrottled(self):
+        system = build_system(n_keys=2, n_partitions=1)
+        cmds = [Command(f"c:{i}", "read", ("k0",)) for i in range(50)]
+        client = system.add_client(ScriptedWorkload(cmds))
+        system.run(until=10.0)
+        assert client.completed == 50
+
+
+class TestPlanTransferPlumbing:
+    def test_duplicate_plan_transfers_ignored(self):
+        from repro.core.messages import PlanTransfer
+
+        system = build_system(n_keys=4, n_partitions=2)
+        server = system.servers("p0")[0]
+        server.version = 1
+        server.owned_nodes.add("newnode")
+        server.in_transit.add("newnode")
+        msg = PlanTransfer(1, "newnode", "p1", (("newnode", 42),))
+        server._on_plan_transfer(msg)
+        assert "newnode" in server.store
+        server.store.put("newnode", 99)
+        server._on_plan_transfer(msg)  # duplicate must not overwrite
+        assert server.store.get("newnode") == 99
+
+    def test_early_plan_transfer_buffered_until_plan(self):
+        from repro.core.messages import PartitionPlan, PlanTransfer
+
+        system = build_system(n_keys=4, n_partitions=2)
+        server = system.servers("p0")[0]
+        future = PlanTransfer(5, "k_future", "p1", (("k_future", 7),))
+        server._on_plan_transfer(future)
+        assert "k_future" not in server.store
+        plan = PartitionPlan(
+            5, tuple(sorted(
+                {**{n: p for n, p in server.last_plan.items()},
+                 "k_future": "p0"}.items(), key=repr))
+        )
+        server.queue.append(plan)
+        server._pump()
+        assert server.store.get("k_future") == 7
+        assert "k_future" not in server.in_transit
+
+    def test_stale_transfer_forwarded_to_new_owner(self):
+        from repro.core.messages import PlanTransfer
+
+        system = build_system(n_keys=4, n_partitions=2)
+        server = system.servers("p0")[0]
+        server.version = 3
+        server.last_plan["wanderer"] = "p1"
+        msg = PlanTransfer(2, "wanderer", "p1", (("wanderer", 1),))
+        before = system.net.messages_sent
+        server._on_plan_transfer(msg)
+        # forwarded to p1's replicas (2 sends)
+        assert system.net.messages_sent == before + 2

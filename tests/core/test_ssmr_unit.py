@@ -1,0 +1,114 @@
+"""Focused tests for the S-SMR execution model beyond the happy path."""
+
+import pytest
+
+from repro.baselines import SSMRSystem
+from repro.core import SystemConfig
+from repro.core.client import ScriptedWorkload
+from repro.sim import ConstantLatency
+from repro.smr import Command, KeyValueApp
+
+
+def make_system(n_keys=8, n_partitions=2, seed=3, placement="random"):
+    app = KeyValueApp({f"k{i}": i for i in range(n_keys)})
+    return SSMRSystem(
+        app,
+        SystemConfig(
+            n_partitions=n_partitions,
+            seed=seed,
+            latency=ConstantLatency(0.001),
+            placement=placement,
+        ),
+    )
+
+
+def split_keys(system):
+    loc = system.initial_assignment
+    keys = sorted(loc)
+    ka = keys[0]
+    kb = next(k for k in keys if loc[k] != loc[ka])
+    return ka, kb
+
+
+class TestSSMRExchangeModel:
+    def test_all_involved_partitions_execute(self):
+        system = make_system()
+        ka, kb = split_keys(system)
+        client = system.add_client(
+            ScriptedWorkload([Command("c:0", "transfer", (ka, kb, 1))])
+        )
+        system.run(until=10.0)
+        assert client.completed == 1
+        # every involved partition counted the command as executed
+        for partition in {system.initial_assignment[ka],
+                          system.initial_assignment[kb]}:
+            assert system.servers(partition)[0].multi_partition_count == 1
+
+    def test_writes_partitioned_correctly(self):
+        """Each partition persists only its own variables' writes."""
+        system = make_system()
+        ka, kb = split_keys(system)
+        client = system.add_client(
+            ScriptedWorkload([Command("c:0", "transfer", (ka, kb, 2))])
+        )
+        system.run(until=10.0)
+        loc = system.initial_assignment
+        sa = system.servers(loc[ka])[0]
+        sb = system.servers(loc[kb])[0]
+        assert sa.store.get(ka) == int(ka[1:]) - 2
+        assert sb.store.get(kb) == int(kb[1:]) + 2
+        # and neither partition grew a copy of the other's variable
+        assert kb not in sa.store
+        assert ka not in sb.store
+
+    def test_sequential_multi_partition_commands_consistent(self):
+        system = make_system()
+        ka, kb = split_keys(system)
+        cmds = [Command(f"c:{i}", "transfer", (ka, kb, 1)) for i in range(15)]
+        cmds.append(Command("c:sum", "sum", (ka, kb)))
+        client = system.add_client(ScriptedWorkload(cmds))
+        system.run(until=60.0)
+        assert client.completed == 16
+        # transfers conserve the pair sum
+        assert client.results["c:sum"][1] == int(ka[1:]) + int(kb[1:])
+
+    def test_replicas_agree_in_ssmr_mode(self):
+        system = make_system(n_partitions=3)
+        loc = system.initial_assignment
+        keys = sorted(loc)
+        cmds = []
+        for i in range(20):
+            a, b = keys[i % len(keys)], keys[(i + 3) % len(keys)]
+            if a != b:
+                cmds.append(Command(f"c:{i}", "transfer", (a, b, 1)))
+        client = system.add_client(ScriptedWorkload(cmds))
+        system.run(until=60.0)
+        assert client.failed == 0
+        for partition in system.partition_names:
+            replicas = system.servers(partition)
+            assert dict(replicas[0].store.items()) == dict(
+                replicas[1].store.items()
+            )
+
+    def test_read_only_multi_partition_leaves_state(self):
+        system = make_system()
+        ka, kb = split_keys(system)
+        client = system.add_client(
+            ScriptedWorkload(
+                [
+                    Command("c:0", "sum", (ka, kb)),
+                    Command("c:1", "sum", (ka, kb)),
+                ]
+            )
+        )
+        system.run(until=20.0)
+        assert client.results["c:0"][1] == client.results["c:1"][1]
+
+    def test_oracle_never_replans_in_ssmr(self):
+        system = make_system()
+        ka, kb = split_keys(system)
+        cmds = [Command(f"c:{i}", "transfer", (ka, kb, 1)) for i in range(40)]
+        system.add_client(ScriptedWorkload(cmds))
+        system.run(until=60.0)
+        assert system.oracle_replicas()[0].version == 0
+        assert "plans_applied" not in system.monitor.counters()

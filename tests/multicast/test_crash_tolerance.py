@@ -1,0 +1,85 @@
+"""Atomic multicast under crash faults: the retransmit path, uniform
+agreement with a crashed replica, and recovery of in-flight multi-group
+messages."""
+
+import random
+
+import pytest
+
+from repro.sim import LogNormalLatency
+
+from tests.multicast.conftest import make_harness
+
+
+class TestLeaderCrashMidMulticast:
+    def test_multi_group_message_survives_sender_group_leader_crash(self):
+        h = make_harness(n_groups=2, n_replicas=3)
+        # Crash g0's leader right away; the message must still be
+        # timestamped (new leader) and delivered by both groups.
+        h.group(0).replicas[0].crash()
+        h.amcast(["g0", "g1"], "survivor")
+        h.run(20.0)
+        for g in (0, 1):
+            for r in (1, 2) if g == 0 else (0, 1):
+                assert "survivor" in [m.payload for m in h.log_of(g, r)], (g, r)
+
+    def test_remote_ts_retransmission_after_crash_window(self):
+        """The leader-only RemoteTs send is covered by the periodic
+        retransmitter when leadership changes mid-protocol."""
+        h = make_harness(n_groups=2, n_replicas=3)
+        h.amcast(["g0", "g1"], "m1")
+        # Crash g0's leader very early, possibly before the ts exchange.
+        h.sim.schedule(0.0015, h.group(0).replicas[0].crash)
+        h.run(30.0)
+        assert "m1" in [m.payload for m in h.log_of(0, 1)]
+        assert "m1" in [m.payload for m in h.log_of(1, 0)]
+
+    def test_throughput_continues_after_crash(self):
+        h = make_harness(n_groups=2, n_replicas=3)
+        for i in range(10):
+            h.amcast(["g0"], f"pre{i}")
+        h.run(2.0)
+        h.group(0).replicas[0].crash()
+        h.run(5.0)
+        for i in range(10):
+            h.amcast(["g0"], f"post{i}")
+            h.amcast(["g0", "g1"], f"multi{i}")
+        h.run(30.0)
+        delivered = [m.payload for m in h.log_of(0, 1)]
+        assert all(f"post{i}" in delivered for i in range(10))
+        assert all(f"multi{i}" in delivered for i in range(10))
+
+
+class TestAgreementWithCrashes:
+    @pytest.mark.parametrize("seed", [3, 8])
+    def test_surviving_replicas_agree(self, seed):
+        h = make_harness(
+            n_groups=3,
+            n_replicas=3,
+            latency=LogNormalLatency(0.002, sigma=0.5),
+            seed=seed,
+        )
+        rng = random.Random(seed)
+        for i in range(25):
+            k = rng.choice([1, 1, 2, 3])
+            dests = sorted(rng.sample(["g0", "g1", "g2"], k))
+            msg = h.directory.make_message(dests, f"p{i}", uid=f"m{i}")
+            h.sim.schedule(rng.uniform(0, 1.5), h.directory.amcast, h.sender, msg)
+        h.sim.schedule(0.7, h.group(seed % 3).replicas[0].crash)
+        h.run(40.0)
+        for g in range(3):
+            live = [
+                r for r in h.group(g).replicas if not r.crashed
+            ]
+            logs = [
+                [m.uid for m in h.logs.get(r.name, [])] for r in live
+            ]
+            assert all(log == logs[0] for log in logs), f"group g{g} diverged"
+            # validity for the group's addressed messages
+            rng2 = random.Random(seed)
+            for i in range(25):
+                k = rng2.choice([1, 1, 2, 3])
+                dests = sorted(rng2.sample(["g0", "g1", "g2"], k))
+                rng2.uniform(0, 1.5)
+                if f"g{g}" in dests:
+                    assert f"m{i}" in logs[0], (g, i)

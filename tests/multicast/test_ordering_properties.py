@@ -1,0 +1,146 @@
+"""Property-style tests for the atomic multicast ordering guarantees:
+acyclic (atomic) order and prefix order across overlapping destination
+sets, under randomized latency, submission times and destination sets."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sim import LogNormalLatency
+
+from tests.multicast.conftest import make_harness
+
+
+def pairwise_order_consistent(logs):
+    """Check that for every pair of messages delivered by two replicas,
+    their relative order agrees (prefix order / acyclicity witness)."""
+    orders = {}
+    for name, log in logs.items():
+        orders[name] = {m.uid: i for i, m in enumerate(log)}
+    names = list(orders)
+    for a, b in itertools.combinations(names, 2):
+        common = set(orders[a]) & set(orders[b])
+        for m1, m2 in itertools.combinations(sorted(common), 2):
+            first_a = orders[a][m1] < orders[a][m2]
+            first_b = orders[b][m1] < orders[b][m2]
+            if first_a != first_b:
+                return False, (a, b, m1, m2)
+    return True, None
+
+
+def run_random_workload(seed, n_groups=3, n_msgs=40, latency_sigma=0.6, until=20.0):
+    h = make_harness(
+        n_groups=n_groups,
+        latency=LogNormalLatency(0.002, sigma=latency_sigma),
+        seed=seed,
+    )
+    rng = random.Random(seed)
+    group_names = [f"g{i}" for i in range(n_groups)]
+    sent = []
+    for i in range(n_msgs):
+        k = rng.choice([1, 1, 1, 2, 2, 3][: n_groups * 2])
+        k = min(k, n_groups)
+        dests = rng.sample(group_names, k)
+        at = rng.uniform(0, 1.0)
+        payload = f"p{i}"
+        msg = h.directory.make_message(dests, payload, uid=f"m{i}")
+        h.sim.schedule(at, h.directory.amcast, h.sender, msg)
+        sent.append(msg)
+    h.run(until)
+    return h, sent
+
+
+class TestAtomicAndPrefixOrder:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 5, 8, 13, 21, 42])
+    def test_pairwise_consistent_order_across_all_replicas(self, seed):
+        h, sent = run_random_workload(seed)
+        ok, witness = pairwise_order_consistent(h.logs)
+        assert ok, f"order cycle between replicas: {witness}"
+
+    @pytest.mark.parametrize("seed", [1, 7, 19])
+    def test_validity_every_destination_delivers(self, seed):
+        h, sent = run_random_workload(seed)
+        for msg in sent:
+            for group_name in msg.dests:
+                group = h.directory.groups[group_name]
+                for rep in group.replica_names:
+                    uids = [m.uid for m in h.logs.get(rep, [])]
+                    assert msg.uid in uids, (
+                        f"{rep} missing {msg.uid} addressed to {msg.dests}"
+                    )
+
+    @pytest.mark.parametrize("seed", [1, 7, 19])
+    def test_integrity_no_duplicates(self, seed):
+        h, sent = run_random_workload(seed)
+        for rep, log in h.logs.items():
+            uids = [m.uid for m in log]
+            assert len(uids) == len(set(uids))
+
+    @pytest.mark.parametrize("seed", [4, 9])
+    def test_replicas_of_same_group_identical_order(self, seed):
+        h, _ = run_random_workload(seed)
+        for group in h.directory.groups.values():
+            logs = [
+                [m.uid for m in h.logs.get(rep, [])] for rep in group.replica_names
+            ]
+            assert logs[0] == logs[1]
+
+
+class TestUnderLeaderCrash:
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_agreement_survives_group_leader_crash(self, seed):
+        h = make_harness(
+            n_groups=2, latency=LogNormalLatency(0.002, sigma=0.4), seed=seed
+        )
+        rng = random.Random(seed)
+        for i in range(20):
+            dests = ["g0", "g1"] if i % 3 == 0 else [rng.choice(["g0", "g1"])]
+            msg = h.directory.make_message(dests, f"p{i}", uid=f"m{i}")
+            h.sim.schedule(rng.uniform(0, 1.0), h.directory.amcast, h.sender, msg)
+        # Crash g0's initial leader mid-stream.
+        h.sim.schedule(0.5, h.group(0).replicas[0].crash)
+        h.run(30.0)
+        # Surviving replica of g0 and both replicas of g1 agree pairwise.
+        live_logs = {
+            name: log
+            for name, log in h.logs.items()
+            if not h.net.actor(name).crashed
+        }
+        ok, witness = pairwise_order_consistent(live_logs)
+        assert ok, witness
+        # Validity: survivor of g0 delivered everything addressed to g0.
+        survivor = h.group(0).replica_names[1]
+        delivered = {m.uid for m in h.logs.get(survivor, [])}
+        expected = {f"m{i}" for i in range(20) if i % 3 == 0} | {
+            f"m{i}"
+            for i in range(20)
+            if i % 3 != 0
+        }
+        # every message addressed to g0 must be there; compute precisely:
+        rng2 = random.Random(seed)
+        for i in range(20):
+            dests = ["g0", "g1"] if i % 3 == 0 else [rng2.choice(["g0", "g1"])]
+            rng2.uniform(0, 1.0)
+            if "g0" in dests:
+                assert f"m{i}" in delivered, f"m{i} lost after leader crash"
+
+
+class TestSkeenClockBehaviour:
+    def test_clock_monotone_across_remote_ts(self):
+        h = make_harness(n_groups=2)
+        for i in range(10):
+            h.amcast(["g0", "g1"], f"p{i}")
+        h.run(5.0)
+        for group in h.directory.groups.values():
+            for rep in group.replicas:
+                assert rep.clock >= 10
+
+    def test_pending_drains_completely(self):
+        h = make_harness(n_groups=2)
+        for i in range(15):
+            h.amcast(["g0", "g1"] if i % 2 else ["g0"], f"p{i}")
+        h.run(5.0)
+        for group in h.directory.groups.values():
+            for rep in group.replicas:
+                assert rep.pending_msgs == {}

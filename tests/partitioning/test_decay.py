@@ -1,0 +1,86 @@
+"""Tests for workload-graph weight decay (oracle adaptation memory)."""
+
+import pytest
+
+from repro.partitioning import WorkloadGraph
+
+
+class TestScaleWeights:
+    def test_scales_vertex_and_edge_weights(self):
+        g = WorkloadGraph()
+        g.add_vertex("a", 10.0)
+        g.add_edge("a", "b", 4.0)
+        g.scale_weights(0.5)
+        assert g.vertex_weight("a") == 5.0
+        assert g.edge_weight("a", "b") == 2.0
+        assert g.total_edge_weight == pytest.approx(2.0)
+
+    def test_vertices_floor_at_min_weight(self):
+        g = WorkloadGraph()
+        g.add_vertex("a", 1.0)
+        g.scale_weights(0.0, min_weight=0.5)
+        assert g.vertex_weight("a") == 0.5
+
+    def test_tiny_edges_dropped(self):
+        g = WorkloadGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "c", 100.0)
+        g.scale_weights(0.001, min_weight=0.01)
+        assert not g.has_edge("a", "b")
+        assert g.has_edge("a", "c")
+        assert g.num_edges == 1
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGraph().scale_weights(-1.0)
+
+    def test_total_edge_weight_consistent_after_decay(self):
+        g = WorkloadGraph.from_edges(
+            [("a", "b", 2.0), ("b", "c", 4.0), ("c", "a", 6.0)]
+        )
+        g.scale_weights(0.5)
+        assert g.total_edge_weight == pytest.approx(
+            sum(w for _, _, w in g.edges())
+        )
+
+    def test_repeated_decay_converges_structure(self):
+        g = WorkloadGraph.from_edges([("a", "b", 1.0)])
+        for _ in range(10):
+            g.scale_weights(0.1, min_weight=0.01)
+        assert g.num_vertices == 2  # vertices persist (floored)
+        assert g.num_edges == 0  # stale affinity forgotten
+
+
+class TestOracleDecayIntegration:
+    def test_decay_applied_after_plan(self):
+        from repro.core.client import ScriptedWorkload
+        from repro.smr import Command
+        from tests.core.conftest import build_system
+
+        system = build_system(
+            n_keys=16, n_partitions=2, repartition=True, threshold=100
+        )
+        for rep in system.oracle_replicas():
+            rep.graph_decay = 0.5
+        cmds = [
+            Command(f"c:{i}", "transfer", (f"k{2*(i%8)}", f"k{2*(i%8)+1}", 1))
+            for i in range(100)
+        ]
+        client = system.add_client(ScriptedWorkload(cmds))
+        system.run(until=60.0)
+        assert client.completed == 100
+        oracle = system.oracle_replicas()[0]
+        assert oracle.version >= 1
+        # decayed: accumulated weights are far below raw access counts
+        total_weight = oracle.graph.total_vertex_weight
+        assert total_weight < 100 * 2  # raw would be ~200+ without decay
+
+    def test_invalid_decay_rejected(self):
+        from repro.core import DynaStarSystem, SystemConfig
+        from repro.smr import KeyValueApp
+
+        with pytest.raises(ValueError):
+            DynaStarSystem(
+                KeyValueApp({"x": 0}),
+                SystemConfig(n_partitions=1, graph_decay=1.5),
+            )

@@ -1,0 +1,130 @@
+"""Tests for the workload graph data structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioning import WorkloadGraph, Partitioning
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = WorkloadGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.total_edge_weight == 0.0
+
+    def test_add_vertex_accumulates_weight(self):
+        g = WorkloadGraph()
+        g.add_vertex("a", 2.0)
+        g.add_vertex("a", 3.0)
+        assert g.vertex_weight("a") == 5.0
+        assert g.num_vertices == 1
+
+    def test_ensure_vertex_does_not_touch_weight(self):
+        g = WorkloadGraph()
+        g.add_vertex("a", 2.0)
+        g.ensure_vertex("a", 99.0)
+        assert g.vertex_weight("a") == 2.0
+
+    def test_add_edge_creates_vertices(self):
+        g = WorkloadGraph()
+        g.add_edge("a", "b", 1.5)
+        assert "a" in g and "b" in g
+        assert g.edge_weight("a", "b") == 1.5
+        assert g.edge_weight("b", "a") == 1.5
+
+    def test_add_edge_accumulates(self):
+        g = WorkloadGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "a", 2.0)
+        assert g.edge_weight("a", "b") == 3.0
+        assert g.num_edges == 1
+        assert g.total_edge_weight == 3.0
+
+    def test_self_loop_ignored(self):
+        g = WorkloadGraph()
+        g.add_edge("a", "a")
+        assert g.num_edges == 0
+
+    def test_from_edges_mixed_forms(self):
+        g = WorkloadGraph.from_edges([("a", "b"), ("b", "c", 4.0)])
+        assert g.edge_weight("a", "b") == 1.0
+        assert g.edge_weight("b", "c") == 4.0
+
+    def test_remove_vertex(self):
+        g = WorkloadGraph.from_edges([("a", "b"), ("b", "c")])
+        g.remove_vertex("b")
+        assert "b" not in g
+        assert g.num_edges == 0
+        assert g.total_edge_weight == 0.0
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(KeyError):
+            WorkloadGraph().remove_vertex("x")
+
+    def test_copy_is_independent(self):
+        g = WorkloadGraph.from_edges([("a", "b")])
+        c = g.copy()
+        c.add_edge("a", "c")
+        assert g.num_edges == 1
+        assert c.num_edges == 2
+
+
+class TestQueries:
+    def test_degree_and_weighted_degree(self):
+        g = WorkloadGraph.from_edges([("a", "b", 2.0), ("a", "c", 3.0)])
+        assert g.degree("a") == 2
+        assert g.weighted_degree("a") == 5.0
+
+    def test_edges_yields_each_once(self):
+        g = WorkloadGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        seen = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(seen) == 3
+
+    def test_has_edge(self):
+        g = WorkloadGraph.from_edges([("a", "b")])
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("a", "c")
+        assert not g.has_edge("x", "y")
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_total_edge_weight_matches_sum(self, pairs):
+        g = WorkloadGraph()
+        for u, v in pairs:
+            g.add_edge(u, v)
+        assert g.total_edge_weight == pytest.approx(
+            sum(w for _, _, w in g.edges())
+        )
+
+
+class TestPartitioning:
+    def test_edge_cut(self):
+        g = WorkloadGraph.from_edges([("a", "b", 1.0), ("b", "c", 2.0)])
+        p = Partitioning({"a": 0, "b": 0, "c": 1}, k=2)
+        assert p.edge_cut(g) == 2.0
+
+    def test_part_weights_and_imbalance(self):
+        g = WorkloadGraph()
+        for v, w in [("a", 1.0), ("b", 1.0), ("c", 2.0)]:
+            g.add_vertex(v, w)
+        p = Partitioning({"a": 0, "b": 0, "c": 1}, k=2)
+        assert p.part_weights(g) == [2.0, 2.0]
+        assert p.imbalance(g) == pytest.approx(0.0)
+
+    def test_members(self):
+        p = Partitioning({"a": 0, "b": 1, "c": 0}, k=2)
+        assert sorted(p.members(0)) == ["a", "c"]
+
+    def test_part_of_missing_vertex_is_none(self):
+        p = Partitioning({"a": 0}, k=1)
+        assert p.part_of("zz") is None

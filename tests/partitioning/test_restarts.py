@@ -1,0 +1,57 @@
+"""Tests for multi-restart partitioning (METIS ncuts equivalent)."""
+
+import pytest
+
+from repro.partitioning import WorkloadGraph, partition_graph
+
+
+def lumpy_graph(seed=1):
+    """A small graph with clear clusters but a tricky greedy landscape."""
+    import random
+
+    rng = random.Random(seed)
+    g = WorkloadGraph()
+    for c in range(4):
+        members = [(c, i) for i in range(10)]
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                if rng.random() < 0.6:
+                    g.add_edge(u, v)
+    for c in range(4):
+        g.add_edge((c, 0), ((c + 1) % 4, 0), 0.5)
+    return g
+
+
+class TestRestarts:
+    def test_restarts_never_worse_than_single_run(self):
+        g = lumpy_graph()
+        single = partition_graph(g, 4, seed=9, restarts=1)
+        multi = partition_graph(g, 4, seed=9, restarts=5)
+        assert multi.edge_cut(g) <= single.edge_cut(g)
+
+    def test_restart_count_validated(self):
+        with pytest.raises(ValueError):
+            partition_graph(WorkloadGraph(), 2, restarts=0)
+
+    def test_restarts_deterministic(self):
+        g = lumpy_graph()
+        a = partition_graph(g, 4, seed=3, restarts=4)
+        b = partition_graph(g, 4, seed=3, restarts=4)
+        assert a.assignment == b.assignment
+
+    def test_feasible_preferred_over_infeasible(self):
+        """When some restarts violate balance, a feasible one wins even at
+        a slightly higher cut."""
+        g = lumpy_graph(seed=5)
+        result = partition_graph(g, 4, imbalance=0.2, seed=1, restarts=6)
+        assert result.imbalance(g) <= 0.3  # small slack over target
+
+    def test_stats_reflect_winning_run(self):
+        from repro.partitioning import PartitionerStats
+
+        g = lumpy_graph()
+        stats = PartitionerStats()
+        result = partition_graph(g, 4, seed=2, restarts=3, stats=stats)
+        assert stats.final_cut == pytest.approx(result.edge_cut(g))
+        assert stats.n_vertices == g.num_vertices
+        assert stats.levels >= 1

@@ -1,0 +1,154 @@
+"""Unit tests for the event heap and virtual clock."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_insertion_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(1.0, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0  # clock advanced to the until bound
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "on-bound")
+    sim.run(until=2.0)
+    assert fired == ["on-bound"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 4.0
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    fired = []
+    sim.schedule_at(5.0, fired.append, "abs")
+    sim.run()
+    assert fired == ["abs"]
+    assert sim.now == 5.0
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    processed = sim.run(max_events=4)
+    assert processed == 4
+    assert fired == [0, 1, 2, 3]
+
+
+def test_stop_halts_processing():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 2
+    e1.cancel()
+    assert sim.pending() == 1
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    e1.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+
+
+def test_events_processed_accumulates():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5

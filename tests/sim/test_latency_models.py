@@ -1,0 +1,68 @@
+"""Tests for the latency models (distributional properties)."""
+
+import random
+
+import pytest
+
+from repro.sim.latency import (
+    ConstantLatency,
+    LogNormalLatency,
+    UniformLatency,
+    lan_default,
+)
+
+
+class TestConstantLatency:
+    def test_sample_is_constant(self):
+        model = ConstantLatency(0.25)
+        rng = random.Random(1)
+        assert all(model.sample(rng) == 0.25 for _ in range(10))
+        assert model.mean() == 0.25
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.1)
+
+
+class TestUniformLatency:
+    def test_bounds_respected(self):
+        model = UniformLatency(0.1, 0.2)
+        rng = random.Random(2)
+        for _ in range(500):
+            assert 0.1 <= model.sample(rng) <= 0.2
+        assert model.mean() == pytest.approx(0.15)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.2, 0.1)
+        with pytest.raises(ValueError):
+            UniformLatency(-0.1, 0.2)
+
+
+class TestLogNormalLatency:
+    def test_median_is_approximately_right(self):
+        model = LogNormalLatency(median=0.01, sigma=0.4)
+        rng = random.Random(3)
+        samples = sorted(model.sample(rng) for _ in range(4001))
+        assert samples[2000] == pytest.approx(0.01, rel=0.1)
+
+    def test_floor_enforced(self):
+        model = LogNormalLatency(median=0.001, sigma=2.0, floor=0.0005)
+        rng = random.Random(4)
+        assert all(model.sample(rng) >= 0.0005 for _ in range(1000))
+
+    def test_mean_above_median(self):
+        model = LogNormalLatency(median=0.01, sigma=0.5)
+        assert model.mean() > 0.01  # right-skewed tail
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.01, sigma=-1.0)
+
+    def test_lan_default_is_submillisecond_median(self):
+        model = lan_default()
+        rng = random.Random(5)
+        samples = sorted(model.sample(rng) for _ in range(2001))
+        assert samples[1000] < 0.001

@@ -1,0 +1,157 @@
+"""Tests for metrics primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.monitor import Counter, Gauge, Histogram, Monitor, TimeSeries
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("x")
+        g.set(3.0)
+        g.add(-1.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_empty_stats_are_nan(self):
+        h = Histogram("lat")
+        assert math.isnan(h.mean())
+        assert math.isnan(h.percentile(50))
+
+    def test_mean(self):
+        h = Histogram("lat")
+        h.extend([1.0, 2.0, 3.0])
+        assert h.mean() == pytest.approx(2.0)
+
+    def test_percentiles_exact(self):
+        h = Histogram("lat")
+        h.extend(float(i) for i in range(1, 101))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.5)
+
+    def test_percentile_bounds_checked(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_single_sample(self):
+        h = Histogram("lat")
+        h.observe(7.0)
+        assert h.percentile(95) == 7.0
+
+    def test_observe_after_percentile_invalidate_cache(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        assert h.percentile(50) == 1.0
+        h.observe(100.0)
+        assert h.percentile(100) == 100.0
+
+    def test_cdf_monotone_and_complete(self):
+        h = Histogram("lat")
+        h.extend([0.1, 0.2, 0.2, 0.5, 1.0])
+        cdf = h.cdf(points=10)
+        fracs = [f for _, f in cdf]
+        assert fracs == sorted(fracs)
+        assert cdf[-1][1] == pytest.approx(1.0)
+
+    def test_cdf_of_constant_data(self):
+        h = Histogram("lat")
+        h.extend([2.0, 2.0])
+        assert h.cdf() == [(2.0, 1.0)]
+
+    def test_summary_keys(self):
+        h = Histogram("lat")
+        h.extend([1.0, 2.0])
+        assert set(h.summary()) == {"count", "mean", "p50", "p95", "p99"}
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_percentiles_within_data_range(self, data):
+        h = Histogram("lat")
+        h.extend(data)
+        for p in (0, 25, 50, 75, 95, 100):
+            assert min(data) <= h.percentile(p) <= max(data)
+
+
+class TestTimeSeries:
+    def test_bucketing(self):
+        s = TimeSeries("tput", width=1.0)
+        s.record(0.1)
+        s.record(0.9)
+        s.record(1.5)
+        assert s.buckets() == [(0.0, 2.0), (1.0, 1.0)]
+
+    def test_gaps_filled_with_zero(self):
+        s = TimeSeries("tput")
+        s.record(0.5)
+        s.record(3.5)
+        assert s.buckets() == [(0.0, 1.0), (1.0, 0.0), (2.0, 0.0), (3.0, 1.0)]
+
+    def test_rates_divide_by_width(self):
+        s = TimeSeries("tput", width=2.0)
+        s.record(0.0, 10.0)
+        assert s.rates() == [(0.0, 5.0)]
+
+    def test_total_and_value_at(self):
+        s = TimeSeries("tput")
+        s.record(1.2, 3.0)
+        s.record(1.8, 2.0)
+        assert s.total() == 5.0
+        assert s.value_at(1.5) == 5.0
+        assert s.value_at(10.0) == 0.0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", width=0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").record(-1.0)
+
+    def test_empty_series(self):
+        assert TimeSeries("x").buckets() == []
+
+
+class TestMonitor:
+    def test_same_name_returns_same_object(self):
+        m = Monitor()
+        assert m.counter("a") is m.counter("a")
+        assert m.histogram("h") is m.histogram("h")
+        assert m.series("s") is m.series("s")
+        assert m.gauge("g") is m.gauge("g")
+
+    def test_snapshot_shape(self):
+        m = Monitor()
+        m.counter("cmds").inc(3)
+        m.histogram("lat").observe(0.5)
+        m.series("tput").record(0.0)
+        m.gauge("load").set(1.5)
+        snap = m.snapshot()
+        assert snap["counters"]["cmds"] == 3
+        assert snap["gauges"]["load"] == 1.5
+        assert snap["histograms"]["lat"]["count"] == 1.0
+        assert snap["series"]["tput"] == [(0.0, 1.0)]
+
+    def test_counters_dict(self):
+        m = Monitor()
+        m.counter("a").inc()
+        assert m.counters() == {"a": 1}

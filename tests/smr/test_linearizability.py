@@ -1,0 +1,119 @@
+"""Tests for the Wing & Gong linearizability checker itself (the checker
+is then used by end-to-end DynaStar correctness tests)."""
+
+import pytest
+
+from repro.smr import (
+    Command,
+    History,
+    KeyValueApp,
+    Operation,
+    check_linearizable,
+)
+
+
+def op(client, cmd, t0, t1, result):
+    return Operation(client, cmd, t0, t1, result)
+
+
+def read(uid, key):
+    return Command(uid, "read", (key,))
+
+
+def write(uid, key, value):
+    return Command(uid, "write", (key, value))
+
+
+class TestSequentialHistories:
+    def test_empty_history_linearizable(self):
+        assert check_linearizable(History(), KeyValueApp({"x": 0}))
+
+    def test_simple_write_then_read(self):
+        h = History()
+        h.record(op("a", write("1", "x", 5), 0.0, 1.0, 0))
+        h.record(op("a", read("2", "x"), 2.0, 3.0, 5))
+        assert check_linearizable(h, KeyValueApp({"x": 0}))
+
+    def test_read_of_never_written_value_rejected(self):
+        h = History()
+        h.record(op("a", read("1", "x"), 0.0, 1.0, 42))
+        assert not check_linearizable(h, KeyValueApp({"x": 0}))
+
+    def test_stale_read_after_write_rejected(self):
+        h = History()
+        h.record(op("a", write("1", "x", 5), 0.0, 1.0, 0))
+        h.record(op("a", read("2", "x"), 2.0, 3.0, 0))  # must see 5
+        assert not check_linearizable(h, KeyValueApp({"x": 0}))
+
+    def test_wrong_result_value_rejected(self):
+        h = History()
+        # write returns the OLD value (0), not the new one
+        h.record(op("a", write("1", "x", 5), 0.0, 1.0, 5))
+        assert not check_linearizable(h, KeyValueApp({"x": 0}))
+
+
+class TestConcurrentHistories:
+    def test_concurrent_writes_any_final_order(self):
+        h = History()
+        h.record(op("a", write("1", "x", 1), 0.0, 2.0, 0))
+        h.record(op("b", write("2", "x", 2), 0.0, 2.0, 1))  # saw a's write
+        h.record(op("a", read("3", "x"), 3.0, 4.0, 2))
+        assert check_linearizable(h, KeyValueApp({"x": 0}))
+
+    def test_concurrent_read_may_see_either(self):
+        base = [
+            op("a", write("1", "x", 7), 0.0, 2.0, 0),
+        ]
+        for seen in (0, 7):
+            h = History()
+            for o in base:
+                h.record(o)
+            h.record(op("b", read("2", "x"), 1.0, 1.5, seen))
+            assert check_linearizable(h, KeyValueApp({"x": 0})), f"seen={seen}"
+
+    def test_non_overlapping_reads_cannot_go_backwards(self):
+        h = History()
+        h.record(op("a", write("1", "x", 7), 0.0, 5.0, 0))
+        # r1 strictly before r2 in real time; r1 sees new value, r2 old one.
+        h.record(op("b", read("2", "x"), 1.0, 1.5, 7))
+        h.record(op("b", read("3", "x"), 2.0, 2.5, 0))
+        assert not check_linearizable(h, KeyValueApp({"x": 0}))
+
+    def test_multi_key_transfer_consistency(self):
+        app = KeyValueApp({"x": 10, "y": 0})
+        h = History()
+        h.record(
+            op("a", Command("1", "transfer", ("x", "y", 4)), 0.0, 1.0, (6, 4))
+        )
+        h.record(op("b", Command("2", "sum", ("x", "y")), 2.0, 3.0, 10))
+        assert check_linearizable(h, app)
+
+    def test_multi_key_torn_read_rejected(self):
+        # sum observing only half of a completed transfer is non-linearizable
+        app = KeyValueApp({"x": 10, "y": 0})
+        h = History()
+        h.record(
+            op("a", Command("1", "transfer", ("x", "y", 4)), 0.0, 1.0, (6, 4))
+        )
+        h.record(op("b", Command("2", "sum", ("x", "y")), 2.0, 3.0, 6))
+        assert not check_linearizable(h, app)
+
+    def test_many_interleaved_clients_valid(self):
+        app = KeyValueApp({"x": 0})
+        h = History()
+        # sequence of atomically increasing writes with overlapping reads
+        t = 0.0
+        value = 0
+        for i in range(8):
+            h.record(op("w", write(f"w{i}", "x", i + 1), t, t + 1.0, value))
+            value = i + 1
+            h.record(op("r", read(f"r{i}", "x"), t + 1.2, t + 1.4, value))
+            t += 2.0
+        assert check_linearizable(h, app)
+
+
+class TestValidation:
+    def test_return_before_invoke_rejected(self):
+        h = History()
+        with pytest.raises(ValueError):
+            h.record(op("a", read("1", "x"), 5.0, 4.0, 0))

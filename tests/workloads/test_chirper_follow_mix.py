@@ -1,0 +1,110 @@
+"""Tests for follow/unfollow traffic in the Chirper mix (§5.4: 'post,
+follow or unfollow commands can lead to object moves; follow and
+unfollow can involve at most two partitions')."""
+
+import pytest
+
+from repro.core import DynaStarSystem, SystemConfig
+from repro.sim import ConstantLatency
+from repro.workloads.social import (
+    ChirperApp,
+    ChirperWorkload,
+    generate_social_graph,
+)
+
+
+class FakeClient:
+    name = "c0"
+    now = 0.0
+
+
+class TestFollowMixGeneration:
+    def test_follow_fraction_respected(self):
+        g = generate_social_graph(200, seed=1)
+        wl = ChirperWorkload(
+            g, mix="mix", seed=2, post_fraction=0.1, follow_fraction=0.2
+        )
+        kinds = [wl.next_command(FakeClient()).op for _ in range(2000)]
+        follows = (kinds.count("follow") + kinds.count("unfollow")) / len(kinds)
+        assert 0.15 < follows < 0.25
+
+    def test_follow_commands_touch_two_users(self):
+        g = generate_social_graph(100, seed=1)
+        wl = ChirperWorkload(g, mix="mix", seed=2, follow_fraction=1.0,
+                             post_fraction=0.0)
+        cmd = wl.next_command(FakeClient())
+        assert cmd.op in ("follow", "unfollow")
+        assert len(cmd.args) == 2
+        assert cmd.args[0] != cmd.args[1]
+
+    def test_workload_graph_view_tracks_follows(self):
+        g = generate_social_graph(100, seed=1)
+        before = g.num_edges
+        wl = ChirperWorkload(g, mix="mix", seed=3, follow_fraction=1.0,
+                             post_fraction=0.0)
+        for _ in range(50):
+            wl.next_command(FakeClient())
+        assert g.num_edges != before  # view updated optimistically
+
+    def test_fraction_overflow_rejected(self):
+        g = generate_social_graph(10, seed=1)
+        with pytest.raises(ValueError):
+            ChirperWorkload(g, post_fraction=0.7, follow_fraction=0.6)
+
+    def test_timeline_mix_ignores_follow_fraction(self):
+        g = generate_social_graph(50, seed=1)
+        wl = ChirperWorkload(g, mix="timeline", seed=2, follow_fraction=0.5)
+        assert all(
+            wl.next_command(FakeClient()).op == "timeline" for _ in range(100)
+        )
+
+
+class TestFollowMixEndToEnd:
+    def test_mix_with_follows_runs_clean(self):
+        g = generate_social_graph(150, avg_follows=6, seed=5)
+        app = ChirperApp(g)
+        system = DynaStarSystem(
+            app,
+            SystemConfig(
+                n_partitions=3,
+                seed=2,
+                latency=ConstantLatency(0.0005),
+                repartition_enabled=True,
+                repartition_threshold=1500,
+            ),
+        )
+        wl = ChirperWorkload(
+            g, mix="mix", seed=3, post_fraction=0.1, follow_fraction=0.1,
+            commands_per_client=120,
+        )
+        clients = [system.add_client(wl) for _ in range(4)]
+        system.run(until=120.0)
+        assert sum(c.completed for c in clients) == 480
+        assert sum(c.failed for c in clients) == 0
+        assert wl.stats["follow"] > 10
+
+    def test_follow_visible_in_state(self):
+        from repro.core.client import ScriptedWorkload
+        from repro.smr import Command
+        from repro.workloads.social import user_var
+
+        g = generate_social_graph(20, avg_follows=2, seed=7)
+        app = ChirperApp(g)
+        system = DynaStarSystem(
+            app,
+            SystemConfig(
+                n_partitions=2, seed=2, latency=ConstantLatency(0.0005)
+            ),
+        )
+        # pick two users not already following each other
+        users = sorted(g.users())
+        a = users[0]
+        b = next(u for u in users[1:] if u not in g.following[a])
+        client = system.add_client(
+            ScriptedWorkload([Command("c:0", "follow", (a, b))])
+        )
+        system.run(until=10.0)
+        assert client.completed == 1
+        merged = system.all_store_variables()
+        assert b in merged[user_var(a)]["following"]
+        assert a in merged[user_var(b)]["followers"]

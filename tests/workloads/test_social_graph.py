@@ -1,0 +1,95 @@
+"""Tests for the synthetic social-graph generator (Higgs substitute)."""
+
+import pytest
+
+from repro.workloads.social import SocialGraph, generate_social_graph
+from repro.workloads.social.generator import load_snap_edge_list
+
+
+class TestSocialGraph:
+    def test_add_follow_symmetry(self):
+        g = SocialGraph()
+        g.add_follow(1, 2)
+        assert 2 in g.following[1]
+        assert 1 in g.followers[2]
+
+    def test_self_follow_ignored(self):
+        g = SocialGraph()
+        g.add_follow(1, 1)
+        assert g.num_edges == 0
+
+    def test_remove_follow(self):
+        g = SocialGraph()
+        g.add_follow(1, 2)
+        g.remove_follow(1, 2)
+        assert g.num_edges == 0
+        assert 1 not in g.followers[2]
+
+    def test_users_by_popularity(self):
+        g = SocialGraph()
+        for follower in (1, 2, 3):
+            g.add_follow(follower, 9)
+        g.add_follow(1, 5)
+        ranked = g.users_by_popularity()
+        assert ranked[0] == 9
+
+
+class TestGenerator:
+    def test_generates_requested_users(self):
+        g = generate_social_graph(500, seed=1)
+        assert g.num_users == 500
+
+    def test_power_law_skew(self):
+        """Top 1% of users should hold a grossly disproportionate share
+        of followers (the celebrity structure the experiments rely on)."""
+        g = generate_social_graph(2000, avg_follows=10, seed=2)
+        degrees = sorted(
+            (len(f) for f in g.followers.values()), reverse=True
+        )
+        top = sum(degrees[:20])
+        total = sum(degrees)
+        assert top > total * 0.10
+
+    def test_mean_degree_tracks_parameter(self):
+        g = generate_social_graph(2000, avg_follows=10, reciprocity=0.0, seed=3)
+        mean = g.num_edges / g.num_users
+        assert 5 < mean < 20
+
+    def test_reciprocity_increases_edges(self):
+        g0 = generate_social_graph(500, avg_follows=8, reciprocity=0.0, seed=4)
+        g1 = generate_social_graph(500, avg_follows=8, reciprocity=0.5, seed=4)
+        assert g1.num_edges > g0.num_edges
+
+    def test_deterministic(self):
+        a = generate_social_graph(300, seed=7)
+        b = generate_social_graph(300, seed=7)
+        assert a.following == b.following
+
+    def test_different_seeds_differ(self):
+        a = generate_social_graph(300, seed=7)
+        b = generate_social_graph(300, seed=8)
+        assert a.following != b.following
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_social_graph(0)
+
+    def test_no_self_edges(self):
+        g = generate_social_graph(400, seed=9)
+        for user, following in g.following.items():
+            assert user not in following
+
+
+class TestSnapLoader:
+    def test_load_edge_list(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n1 2\n2 3\n\n1 3\n")
+        g = load_snap_edge_list(str(path))
+        assert g.num_edges == 3
+        assert 2 in g.following[1]
+
+    def test_max_users_filter(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1 2\n100 2\n")
+        g = load_snap_edge_list(str(path), max_users=50)
+        assert g.num_edges == 1

@@ -1,0 +1,146 @@
+"""TPC-C end-to-end on DynaStar: spec consistency conditions must hold on
+the distributed, replicated state — including across repartitioning and
+multi-partition transactions."""
+
+import pytest
+
+from repro.core import DynaStarSystem, SystemConfig
+from repro.sim import ConstantLatency
+from repro.workloads.tpcc import (
+    TPCCApp,
+    TPCCConfig,
+    TPCCWorkload,
+    district_key,
+    order_key,
+    order_line_key,
+    warehouse_key,
+)
+
+
+def run_tpcc(
+    n_partitions=2,
+    placement="random",
+    repartition=False,
+    commands=400,
+    clients=6,
+    seed=3,
+    until=120.0,
+):
+    config = TPCCConfig(
+        n_warehouses=n_partitions, customers_per_district=8, n_items=40
+    )
+    app = TPCCApp(config)
+    system = DynaStarSystem(
+        app,
+        SystemConfig(
+            n_partitions=n_partitions,
+            seed=seed,
+            latency=ConstantLatency(0.0005),
+            placement=placement,
+            repartition_enabled=repartition,
+            repartition_threshold=1200,
+        ),
+    )
+    per_client = commands // clients
+    workload = TPCCWorkload(config, seed=seed + 1, commands_per_client=per_client)
+    client_list = [system.add_client(workload) for _ in range(clients)]
+    system.run(until=until)
+    return system, config, client_list, per_client * clients
+
+
+def check_consistency(system, config):
+    merged = system.all_store_variables()
+    for w in range(1, config.n_warehouses + 1):
+        w_ytd = merged[warehouse_key(w)]["ytd"]
+        d_ytd = sum(
+            merged[district_key(w, d)]["ytd"]
+            for d in range(1, config.districts_per_warehouse + 1)
+        )
+        assert w_ytd == pytest.approx(d_ytd), (w, w_ytd, d_ytd)
+        for d in range(1, config.districts_per_warehouse + 1):
+            district = merged[district_key(w, d)]
+            next_o = district["next_o_id"]
+            for o in range(1, next_o):
+                assert order_key(w, d, o) in merged, (w, d, o)
+                order = merged[order_key(w, d, o)]
+                for n in range(1, order["ol_cnt"] + 1):
+                    assert order_line_key(w, d, o, n) in merged
+            no_rows = {
+                key[3]
+                for key in merged
+                if key[0] == "NO" and key[1] == w and key[2] == d
+            }
+            assert set(district["undelivered"]) == no_rows
+
+
+class TestTPCCEndToEnd:
+    def test_consistency_static_random_placement(self):
+        system, config, clients, issued = run_tpcc(repartition=False)
+        completed = sum(c.completed for c in clients)
+        failed = sum(c.failed for c in clients)
+        assert completed + failed == issued
+        assert failed < issued * 0.05  # only the ~1% invalid-item aborts
+        check_consistency(system, config)
+
+    def test_consistency_across_repartitioning(self):
+        system, config, clients, issued = run_tpcc(
+            repartition=True, commands=600, until=200.0
+        )
+        completed = sum(c.completed for c in clients)
+        failed = sum(c.failed for c in clients)
+        assert completed + failed == issued
+        assert system.oracle_replicas()[0].version >= 1
+        check_consistency(system, config)
+
+    def test_replicas_agree_after_run(self):
+        system, config, _, _issued = run_tpcc(repartition=True, commands=300)
+        for partition in system.partition_names:
+            replicas = system.servers(partition)
+            state0 = dict(replicas[0].store.items())
+            for replica in replicas[1:]:
+                assert dict(replica.store.items()) == state0
+
+    def test_invalid_item_aborts_reported_as_nok(self):
+        # Force high abort rate to exercise the NOK path end-to-end.
+        config = TPCCConfig(
+            n_warehouses=2,
+            customers_per_district=8,
+            n_items=40,
+            invalid_item_prob=0.5,
+        )
+        app = TPCCApp(config)
+        system = DynaStarSystem(
+            app,
+            SystemConfig(
+                n_partitions=2,
+                seed=3,
+                latency=ConstantLatency(0.0005),
+                placement="hash",
+            ),
+        )
+        workload = TPCCWorkload(config, seed=4, commands_per_client=60)
+        client = system.add_client(workload)
+        system.run(until=60.0)
+        assert client.failed > 5
+        assert client.completed + client.failed == 60
+        check_consistency(system, config)
+
+    def test_delivery_credits_survive_borrowing(self):
+        """Deliveries executed away from home (borrowed districts) must
+        write back order/customer updates correctly."""
+        system, config, clients, _issued = run_tpcc(
+            n_partitions=3, placement="random", commands=500, until=150.0
+        )
+        merged = system.all_store_variables()
+        delivered_orders = [
+            key
+            for key, row in merged.items()
+            if key[0] == "O" and row["carrier_id"] is not None
+        ]
+        if not delivered_orders:
+            pytest.skip("workload produced no completed deliveries")
+        for key in delivered_orders:
+            w, d, o = key[1], key[2], key[3]
+            order = merged[key]
+            for n in range(1, order["ol_cnt"] + 1):
+                assert merged[order_line_key(w, d, o, n)]["delivery_d"] is not None
