@@ -21,6 +21,8 @@ from repro.consensus.messages import (
     NoOp,
     Prepare,
     Promise,
+    RecoverInfo,
+    RecoverQuery,
     Submit,
 )
 from repro.consensus.paxos import Acceptor, PaxosReplica
@@ -35,6 +37,8 @@ __all__ = [
     "NoOp",
     "Prepare",
     "Promise",
+    "RecoverInfo",
+    "RecoverQuery",
     "Submit",
     "Acceptor",
     "PaxosReplica",

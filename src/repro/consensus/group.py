@@ -85,10 +85,9 @@ class PaxosGroup:
     def submit(self, value: Any) -> None:
         """Inject ``value`` for ordering (test convenience; production code
         paths send :class:`Submit` messages through the network instead)."""
-        for replica in self.replicas:
-            if not replica.crashed:
-                replica.submit(value)
-                return
+        alive = self.alive_replicas
+        if alive:
+            alive[0].submit(value)
 
     def submit_via(self, sender, value: Any) -> None:
         """Have actor ``sender`` submit ``value`` by messaging every replica
@@ -96,6 +95,11 @@ class PaxosGroup:
         sender.send_all(self.replica_names, Submit(value))
 
     # -- introspection ----------------------------------------------------
+
+    @property
+    def alive_replicas(self) -> list[PaxosReplica]:
+        """Replicas that are currently not crashed."""
+        return [replica for replica in self.replicas if not replica.crashed]
 
     @property
     def leader(self) -> Optional[PaxosReplica]:

@@ -95,3 +95,30 @@ class Nack:
 
     ballot: int
     instance: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RecoverQuery:
+    """Recovering replica asks acceptors for their accepted state.
+
+    ``epoch`` distinguishes recovery rounds so stale replies are ignored;
+    ``low`` is the first instance the replica is missing.
+    """
+
+    epoch: int
+    low: int
+
+
+@dataclass(frozen=True)
+class RecoverInfo:
+    """Acceptor reply to :class:`RecoverQuery`.
+
+    ``accepted`` maps instance -> (vballot, value) for every instance
+    >= the query's ``low`` the acceptor has accepted a value in.
+    """
+
+    epoch: int
+    accepted: dict
+
+    def __hash__(self):  # pragma: no cover - only identity needed
+        return id(self)

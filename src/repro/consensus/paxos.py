@@ -30,6 +30,8 @@ from repro.consensus.messages import (
     NoOp,
     Prepare,
     Promise,
+    RecoverInfo,
+    RecoverQuery,
     Submit,
 )
 
@@ -51,6 +53,7 @@ class ReplicaConfig:
     max_batch: int = 64
     window: int = 32
     catchup_period: float = 0.2
+    recovery_retry: float = 0.3
 
 
 class Acceptor(Actor):
@@ -67,6 +70,8 @@ class Acceptor(Actor):
             self._on_prepare(sender, message)
         elif isinstance(message, Accept):
             self._on_accept(sender, message)
+        elif isinstance(message, RecoverQuery):
+            self._on_recover_query(sender, message)
 
     def _on_prepare(self, sender: str, msg: Prepare) -> None:
         if msg.ballot >= self.promised:
@@ -83,6 +88,13 @@ class Acceptor(Actor):
             self.send(sender, Accepted(msg.ballot, msg.instance))
         else:
             self.send(sender, Nack(self.promised, msg.instance))
+
+    def _on_recover_query(self, sender: str, msg: RecoverQuery) -> None:
+        """Read-only reply for replica recovery: report accepted values
+        without promising anything (unlike Prepare, this does not disturb
+        the current leader)."""
+        accepted = {i: va for i, va in self.accepted.items() if i >= msg.low}
+        self.send(sender, RecoverInfo(msg.epoch, accepted))
 
 
 class PaxosReplica(Actor):
@@ -124,6 +136,7 @@ class PaxosReplica(Actor):
         self._accept_votes: dict[int, set[str]] = {}
         self.pending: deque = deque()
         self._pending_uids: set = set()
+        self._pending_seen: set = set()
         self.proposed_uids: set = set()
         self._batch_timer = None
 
@@ -136,6 +149,11 @@ class PaxosReplica(Actor):
         # Failure detection
         self._last_leader_contact = 0.0
         self._started = False
+
+        # Crash recovery (volatile; rebuilt by on_recover)
+        self._recovery_epoch = 0
+        self._recovery_replies: dict[str, RecoverInfo] = {}
+        self._recovering = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -152,6 +170,29 @@ class PaxosReplica(Actor):
             self.config.leader_timeout + jitter, self._leader_check_tick
         )
         self.set_periodic_timer(self.config.catchup_period, self._catchup_tick)
+
+    def crash(self) -> None:
+        super().crash()
+        self._batch_timer = None
+
+    def on_recover(self) -> None:
+        """Rebuild volatile state after a crash (crash-recovery, §2.1).
+
+        The Paxos *log* (``decided``, ``delivered_uids``, ``next_deliver``)
+        and the promise-relevant ``ballot`` are treated as stable storage;
+        leadership and in-flight proposer bookkeeping are volatile and
+        reset.  The replica then re-syncs decided instances from the
+        acceptors before relying on peer catch-up for the rest.
+        """
+        self.phase1_done = False
+        self._promises.clear()
+        self.proposals.clear()
+        self._proposal_time.clear()
+        self._accept_votes.clear()
+        self._batch_timer = None
+        self._started = False
+        self.start()
+        self._request_recovery()
 
     # -- leadership helpers ---------------------------------------------------
 
@@ -186,6 +227,8 @@ class PaxosReplica(Actor):
             self._on_heartbeat(sender, message)
         elif isinstance(message, LearnRequest):
             self._on_learn_request(sender, message)
+        elif isinstance(message, RecoverInfo):
+            self._on_recover_info(sender, message)
         else:
             self.on_other_message(sender, message)
 
@@ -390,6 +433,47 @@ class PaxosReplica(Actor):
             self.next_instance = max(self.next_instance, top + 1)
         self.next_instance = max(self.next_instance, self.next_deliver)
 
+    # -- crash recovery ---------------------------------------------------------------
+
+    def _request_recovery(self) -> None:
+        """Ask all acceptors for their accepted state from ``next_deliver``
+        on; retries until a quorum replies for the current epoch."""
+        self._recovery_epoch += 1
+        self._recovering = True
+        self._recovery_replies.clear()
+        query = RecoverQuery(self._recovery_epoch, self.next_deliver)
+        for acceptor in self.acceptors:
+            self.send(acceptor, query)
+        self.set_timer(self.config.recovery_retry, self._recovery_retry_tick)
+
+    def _recovery_retry_tick(self) -> None:
+        if self._recovering:
+            self._request_recovery()
+
+    def _on_recover_info(self, sender: str, msg: RecoverInfo) -> None:
+        if not self._recovering or msg.epoch != self._recovery_epoch:
+            return
+        self._recovery_replies[sender] = msg
+        if len(self._recovery_replies) < self._quorum():
+            return
+        self._recovering = False
+        # A value accepted at the same (instance, ballot) by a quorum is
+        # chosen — the Paxos invariant that at most one value can gain a
+        # quorum per ballot makes value comparison unnecessary.
+        votes: dict[tuple[int, int], int] = {}
+        values: dict[tuple[int, int], Any] = {}
+        for reply in self._recovery_replies.values():
+            for instance, (vballot, value) in reply.accepted.items():
+                key = (instance, vballot)
+                votes[key] = votes.get(key, 0) + 1
+                values[key] = value
+        for (instance, _vballot), count in sorted(votes.items()):
+            if count >= self._quorum() and instance not in self.decided:
+                self._on_decision(instance, values[(instance, _vballot)])
+        # Anything accepted by fewer acceptors (still in flight, or already
+        # chosen but not quorum-visible here) is recovered by the normal
+        # peer catch-up / leader-takeover paths.
+
     # -- catch-up --------------------------------------------------------------------
 
     def _catchup_tick(self) -> None:
@@ -398,6 +482,35 @@ class PaxosReplica(Actor):
             for replica in self.replicas:
                 if replica != self.name:
                     self.send(replica, LearnRequest(self.next_deliver, behind))
+        self._forward_pending()
+
+    def _forward_pending(self) -> None:
+        """Follower liveness: re-route buffered submissions to the current
+        leader (covers Submits lost with a crashed leader or dropped on a
+        lossy link).  Uid deduplication at the leader makes this safe."""
+        while self.pending:
+            uid = getattr(self.pending[0], "uid", None)
+            if uid is not None and uid in self.delivered_uids:
+                self._pending_uids.discard(uid)
+                self.pending.popleft()
+            else:
+                break
+        if not self.pending:
+            self._pending_seen.clear()
+            return
+        if self.is_leader:
+            self._schedule_flush()
+            return
+        leader = self.leader_of(self.ballot)
+        if leader != self.name:
+            # Only values that survived a full catch-up period are
+            # forwarded — fresh submissions are normally already in
+            # flight at the leader.
+            for value in self.pending:
+                uid = getattr(value, "uid", None)
+                if uid is not None and uid in self._pending_seen:
+                    self.send(leader, Submit(value))
+        self._pending_seen = set(self._pending_uids)
 
     def _on_learn_request(self, sender: str, msg: LearnRequest) -> None:
         for instance in range(msg.low, msg.high + 1):

@@ -66,7 +66,17 @@ class CallbackWorkload(Workload):
 
 
 class DynaStarClient(Actor):
-    """A closed-loop client with a location cache."""
+    """A closed-loop client with a location cache.
+
+    When ``request_timeout`` is set, every attempt is covered by a
+    timeout with exponential backoff (factor ``backoff_factor``, capped
+    at ``max_timeout``): a silent attempt — lost query, lost reply,
+    crashed partition — is abandoned and the command retransmitted under
+    a fresh attempt number, up to ``max_attempts`` total attempts.
+    Server-side result caching makes retransmission safe (exactly-once
+    execution).  ``request_timeout=None`` (default) disables timeouts,
+    preserving the reliable-network behaviour.
+    """
 
     MAX_ATTEMPTS = 100
 
@@ -83,6 +93,10 @@ class DynaStarClient(Actor):
         history: Optional[History] = None,
         stop_at: Optional[float] = None,
         target_policy: str = "most_nodes",
+        max_attempts: Optional[int] = None,
+        request_timeout: Optional[float] = None,
+        backoff_factor: float = 2.0,
+        max_timeout: Optional[float] = None,
     ):
         super().__init__(name)
         self.target_policy = target_policy
@@ -95,11 +109,24 @@ class DynaStarClient(Actor):
         self.dispatch_via_oracle = dispatch_via_oracle
         self.history = history
         self.stop_at = stop_at
+        self.max_attempts = (
+            max_attempts if max_attempts is not None else self.MAX_ATTEMPTS
+        )
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        self.request_timeout = request_timeout
+        self.backoff_factor = backoff_factor
+        self.max_timeout = max_timeout
 
         self.cache: dict[Any, str] = {}
         self.completed = 0
         self.failed = 0
         self.retries = 0
+        self.timeouts = 0
         self.results: dict[str, Any] = {}
         self.done = False
 
@@ -107,6 +134,7 @@ class DynaStarClient(Actor):
         self._attempt = 0
         self._invoked_at = 0.0
         self._was_multi = False
+        self._timeout_timer = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -129,9 +157,38 @@ class DynaStarClient(Actor):
         self._was_multi = False
         self._issue()
 
+    # -- request timeouts -----------------------------------------------------
+
+    def _arm_timeout(self) -> None:
+        if self.request_timeout is None:
+            return
+        if self._timeout_timer is not None:
+            self._timeout_timer.cancel()
+        delay = self.request_timeout * self.backoff_factor**self._attempt
+        if self.max_timeout is not None:
+            delay = min(delay, self.max_timeout)
+        self._timeout_timer = self.set_timer(delay, self._on_timeout)
+
+    def _cancel_timeout(self) -> None:
+        if self._timeout_timer is not None:
+            self._timeout_timer.cancel()
+            self._timeout_timer = None
+
+    def _on_timeout(self) -> None:
+        if self.done or self._current is None:
+            return
+        self.timeouts += 1
+        self.monitor.counter("client_timeouts").inc()
+        self._attempt += 1
+        if self._attempt >= self.max_attempts:
+            self._complete(ReplyStatus.NOK, "timed out")
+            return
+        self._issue()
+
     # -- issuing -------------------------------------------------------------
 
     def _issue(self) -> None:
+        self._arm_timeout()
         command = self._current
         if (
             command.kind != CommandKind.ACCESS
@@ -215,26 +272,31 @@ class DynaStarClient(Actor):
 
     def _on_reply(self, reply: Reply) -> None:
         command = self._current
-        if (
-            command is None
-            or reply.uid != command.uid
-            or reply.attempt != self._attempt
-        ):
+        if command is None or reply.uid != command.uid:
             return
         if reply.status == ReplyStatus.RETRY:
+            # Only the current attempt's RETRY matters; a stale one from
+            # an attempt we already abandoned must not burn another retry.
+            if reply.attempt != self._attempt:
+                return
             self.retries += 1
             self.monitor.counter("client_retries").inc()
             self._attempt += 1
-            if self._attempt >= self.MAX_ATTEMPTS:
+            if self._attempt >= self.max_attempts:
                 self._complete(ReplyStatus.NOK, "too many retries")
                 return
             for node in self.app.nodes_of(command):
                 self.cache.pop(node, None)
+            self._arm_timeout()
             self._query_oracle()
             return
+        # OK/NOK is accepted from *any* attempt: a late reply to a
+        # timed-out attempt still carries the command's actual outcome
+        # (servers answer retransmissions from their result cache).
         self._complete(reply.status, reply.result)
 
     def _complete(self, status: ReplyStatus, result: Any) -> None:
+        self._cancel_timeout()
         command = self._current
         latency = self.now - self._invoked_at
         self._current = None

@@ -155,6 +155,7 @@ class VarTransfer:
     from_partition: str
     vars: tuple  # ((var, value), ...)
     attempt: int = 0
+    exec_entries: tuple = ()  # ((cmd_uid, status, result), ...)
 
     @property
     def key(self) -> tuple:
@@ -164,12 +165,16 @@ class VarTransfer:
 @dataclass(frozen=True)
 class VarReturn:
     """Target partition -> source partition: borrowed variables coming
-    home (with post-execution values)."""
+    home (with post-execution values).
+
+    ``exec_entries`` carries the target's cached execution result so the
+    sources can answer a retried command without re-gathering."""
 
     cmd_uid: str
     from_partition: str
     vars: tuple
     attempt: int = 0
+    exec_entries: tuple = ()  # ((cmd_uid, status, result), ...)
 
     @property
     def key(self) -> tuple:
@@ -194,9 +199,45 @@ class TransferFailed:
 @dataclass(frozen=True)
 class PlanTransfer:
     """Old owner -> new owner: a node's variables moving under a
-    repartitioning plan."""
+    repartitioning plan.
+
+    ``exec_entries`` carries the old owner's cached execution results for
+    commands that touched this node, so a client retry that lands on the
+    new owner is answered from the cache instead of re-executing.
+    """
 
     version: int
     node: Any
     from_partition: str
     vars: tuple
+    exec_entries: tuple = ()  # ((cmd_uid, status, result), ...)
+
+
+# ---------------------------------------------------------------------------
+# Reliable replica-to-replica channel
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReliableMsg:
+    """Envelope for at-least-once replica-to-replica delivery.
+
+    The receiver always acks (even for duplicates) and dispatches the
+    payload once per ``uid``; the sender retransmits unacked envelopes
+    periodically.  Used for the transfer/return/abort traffic of
+    multi-partition commands, which must survive message loss and
+    receiver crashes without diverging the replicas of a partition.
+    """
+
+    uid: str
+    payload: Any
+
+    def __hash__(self):  # pragma: no cover - payload may be unhashable
+        return hash(self.uid)
+
+
+@dataclass(frozen=True)
+class ReliableAck:
+    """Receiver -> sender: envelope ``uid`` arrived; stop retransmitting."""
+
+    uid: str

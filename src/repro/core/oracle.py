@@ -103,6 +103,16 @@ class OracleReplica(MulticastReplica):
         self.plan_inflight = False
         self.plans_issued = 0
 
+        # Exactly-once for create/delete under client retries: remember
+        # what each command did (recorded at query-handling time, i.e. at
+        # a consistent log position on every replica) so a repeated query
+        # replays the outcome instead of answering NOK "exists"/"missing".
+        self._done_creates: dict[str, tuple] = {}
+        self._done_deletes: dict[str, tuple] = {}
+        #: Plan computed but whose publish timer had not fired yet —
+        #: republished after a crash so repartitioning cannot wedge.
+        self._pending_plan: Optional[PartitionPlan] = None
+
     @property
     def _records_metrics(self) -> bool:
         """Only replica 0 writes shared metrics, or counts double."""
@@ -147,6 +157,27 @@ class OracleReplica(MulticastReplica):
 
     def _handle_create_query(self, query: OracleQuery) -> None:
         command = query.command
+        done = self._done_creates.get(command.uid)
+        if done is not None:
+            # Retried create: replay with an attempt-qualified multicast
+            # uid so the CreateVar reaches the partition again (which
+            # answers from its result cache), instead of NOK "exists".
+            var, node, partition = done
+            payload = CreateVar(
+                command, var, node, partition, query.client, query.attempt
+            )
+            self._amcast_ordered(
+                [self.group, partition],
+                payload,
+                uid=f"create:{command.uid}:a{query.attempt}",
+            )
+            self._prophesize(
+                query,
+                ProphecyStatus.OK,
+                locations=((node, partition),),
+                target=partition,
+            )
+            return
         var = command.args[0]
         node = self.app.graph_node_of(var)
         if node in self.location:
@@ -155,6 +186,7 @@ class OracleReplica(MulticastReplica):
         partition = self.partition_names[
             _stable_hash(node) % len(self.partition_names)
         ]
+        self._done_creates[command.uid] = (var, node, partition)
         payload = CreateVar(
             command, var, node, partition, query.client, query.attempt
         )
@@ -170,12 +202,31 @@ class OracleReplica(MulticastReplica):
 
     def _handle_delete_query(self, query: OracleQuery) -> None:
         command = query.command
+        done = self._done_deletes.get(command.uid)
+        if done is not None:
+            var, node, partition = done
+            payload = DeleteVar(
+                command, var, node, partition, query.client, query.attempt
+            )
+            self._amcast_ordered(
+                [self.group, partition],
+                payload,
+                uid=f"delete:{command.uid}:a{query.attempt}",
+            )
+            self._prophesize(
+                query,
+                ProphecyStatus.OK,
+                locations=((node, partition),),
+                target=partition,
+            )
+            return
         var = command.args[0]
         node = self.app.graph_node_of(var)
         partition = self.location.get(node)
         if partition is None:
             self._prophesize(query, ProphecyStatus.NOK, reason="missing")
             return
+        self._done_deletes[command.uid] = (var, node, partition)
         payload = DeleteVar(
             command, var, node, partition, query.client, query.attempt
         )
@@ -343,6 +394,7 @@ class OracleReplica(MulticastReplica):
             return
 
         plan = PartitionPlan(new_version, tuple(sorted(assignment.items(), key=lambda kv: repr(kv[0]))))
+        self._pending_plan = plan
         delay = self.plan_compute_cost * max(1, self.graph.num_vertices)
         self.set_timer(delay, lambda: self._publish_plan(plan))
 
@@ -385,9 +437,23 @@ class OracleReplica(MulticastReplica):
         self.location.update(plan.as_dict())
         self.plan_inflight = False
         self.plans_issued += 1
+        if self._pending_plan is not None and self._pending_plan.version <= plan.version:
+            self._pending_plan = None
         if self._records_metrics:
             self.monitor.counter("plans_applied").inc()
             self.monitor.series("plans").record(self.now)
+
+    def on_recover(self) -> None:
+        super().on_recover()
+        # A plan computed before the crash whose publish timer never fired
+        # would leave plan_inflight stuck forever; republish it (the
+        # version-derived multicast uid deduplicates against any copy the
+        # other replica already published).
+        pending = self._pending_plan
+        if pending is not None and pending.version > self.version:
+            self.set_timer(
+                self.plan_compute_cost, lambda: self._publish_plan(pending)
+            )
 
     # -- helpers -------------------------------------------------------------------------
 

@@ -36,6 +36,8 @@ from repro.core.messages import (
     GlobalCommand,
     PartitionPlan,
     PlanTransfer,
+    ReliableAck,
+    ReliableMsg,
     TransferFailed,
     VarReturn,
     VarTransfer,
@@ -65,6 +67,7 @@ class PartitionServer(MulticastReplica):
         hint_period: float = 1.0,
         hints_enabled: bool = True,
         service_time: float = 0.0,
+        retransmit_period: float = 0.5,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -100,6 +103,19 @@ class PartitionServer(MulticastReplica):
         self._plan_transfer_seen: set = set()
         self._early_plan_transfers: dict = {}
 
+        # Exactly-once under client retries: cached (status, result) per
+        # executed command uid, and which uids touched which node (so the
+        # cache migrates with the node under repartitioning plans).
+        self._exec_results: dict[str, tuple] = {}
+        self._node_uids: dict[Any, list] = {}
+
+        # Reliable replica-to-replica channel (transfer/return/abort and
+        # plan-move traffic must survive loss and receiver crashes).
+        #: 0 disables retransmission (pure reliable-network runs).
+        self.retransmit_period = retransmit_period
+        self._outbox: dict[tuple, ReliableMsg] = {}
+        self._reliable_seen: set = set()
+
         self._hint_vertices: Counter = Counter()
         self._hint_edges: Counter = Counter()
         self._hint_seq = 0
@@ -121,6 +137,16 @@ class PartitionServer(MulticastReplica):
         super().start()
         if self.hints_enabled:
             self.set_periodic_timer(self.hint_period, self._flush_hints)
+        if self.retransmit_period > 0:
+            self.set_periodic_timer(self.retransmit_period, self._retransmit_outbox)
+
+    def on_recover(self) -> None:
+        self._service_timer = None
+        self._next_free = 0.0
+        super().on_recover()
+        # The execution queue and gather buffers are stable; whatever was
+        # ready to run before the crash can run again now.
+        self._pump()
 
     @property
     def _records_metrics(self) -> bool:
@@ -187,7 +213,17 @@ class PartitionServer(MulticastReplica):
         self._pump()
 
     def on_app_message(self, sender: str, message: Any) -> None:
-        if isinstance(message, VarTransfer):
+        if isinstance(message, ReliableMsg):
+            # Always ack (duplicates included) so every sender replica
+            # stops retransmitting; dispatch the payload once per uid.
+            self.send(sender, ReliableAck(message.uid))
+            if message.uid in self._reliable_seen:
+                return
+            self._reliable_seen.add(message.uid)
+            self.on_app_message(sender, message.payload)
+        elif isinstance(message, ReliableAck):
+            self._outbox.pop((sender, message.uid), None)
+        elif isinstance(message, VarTransfer):
             self._on_var_transfer(message)
         elif isinstance(message, VarReturn):
             self._on_var_return(message)
@@ -237,6 +273,8 @@ class PartitionServer(MulticastReplica):
 
     def _try_exec(self, payload: ExecCommand) -> bool:
         command = payload.command
+        if self._reply_cached(payload):
+            return True
         nodes = self.app.nodes_of(command)
         if any(node not in self.owned_nodes for node in nodes):
             self._reply(payload, ReplyStatus.RETRY)
@@ -252,11 +290,53 @@ class PartitionServer(MulticastReplica):
     def _execute_and_reply(self, payload, record_hint_nodes=()) -> None:
         command = payload.command
         result, status, _, _ = self._tracked_execute(command)
+        self._cache_exec_result(payload, status, result, record_hint_nodes)
         self._reply(payload, status, result)
         self.executed_count += 1
         self._record_hint(record_hint_nodes)
         if self._records_metrics:
             self.monitor.series(f"tput:{self.partition}").record(self.now)
+
+    # -- exactly-once result cache ---------------------------------------------------
+
+    def _cache_exec_result(self, payload, status, result, nodes=()) -> None:
+        """Remember the outcome — and the attempt that produced it — so a
+        client retry of an already-executed command is answered from the
+        cache instead of re-executed (the state machine must not apply a
+        command twice)."""
+        attempt = getattr(payload, "attempt", 0)
+        self._exec_results[payload.command.uid] = (status, result, attempt)
+        for node in nodes:
+            self._node_uids.setdefault(node, []).append(payload.command.uid)
+
+    def _reply_cached(self, payload) -> bool:
+        cached = self._exec_results.get(payload.command.uid)
+        if cached is None:
+            return False
+        status, result, _attempt = cached
+        self._reply(payload, status, result)
+        if self._records_metrics:
+            self.monitor.counter("dedup_replies").inc()
+        return True
+
+    def _exec_entries_for(self, nodes) -> tuple:
+        """Cached (uid, status, result, attempt) entries for commands that
+        touched ``nodes`` — shipped along when those nodes change owner."""
+        entries = []
+        seen = set()
+        for node in nodes:
+            for uid in self._node_uids.get(node, ()):
+                if uid in seen:
+                    continue
+                seen.add(uid)
+                cached = self._exec_results.get(uid)
+                if cached is not None:
+                    entries.append((uid,) + cached)
+        return tuple(entries)
+
+    def _merge_exec_entries(self, entries) -> None:
+        for uid, status, result, attempt in entries:
+            self._exec_results.setdefault(uid, (status, result, attempt))
 
     # -- multi-partition commands ----------------------------------------------------------
 
@@ -265,6 +345,26 @@ class PartitionServer(MulticastReplica):
         cmd_uid = command.uid
         claimed = payload.nodes_at(self.partition)
         state = self._head_state
+
+        # Duplicate detection applies only to a *fresh* head carrying a
+        # different attempt than the one that executed.  The attempt that
+        # executed must run the normal protocol even when its result
+        # entry is already cached — a replica lagging behind its peers
+        # receives the piggybacked entry (on the VarReturn) before it
+        # a-delivers the command itself, and every replica of a partition
+        # must make the same lend/return transitions for that attempt or
+        # their stores diverge.  The rule is deterministic: for any later
+        # attempt the entry is guaranteed merged before it reaches the
+        # head (it rides the message that unblocked the earlier attempt),
+        # while the executed attempt takes the normal path with or
+        # without the entry.
+        cached = self._exec_results.get(cmd_uid)
+        if (
+            cached is not None
+            and not state
+            and payload.attempt != cached[2]
+        ):
+            return self._global_duplicate(payload)
 
         if not state.get("checked"):
             if any(node not in self.owned_nodes for node in claimed):
@@ -281,6 +381,31 @@ class PartitionServer(MulticastReplica):
         if payload.target == self.partition:
             return self._global_as_target(payload)
         return self._global_as_source(payload)
+
+    def _global_duplicate(self, payload: GlobalCommand) -> bool:
+        """A retried multi-partition command that already executed: answer
+        from the cache and unwind the new attempt's gather so no partition
+        blocks on it."""
+        key = (payload.command.uid, payload.attempt)
+        self._reply_cached(payload)
+        if payload.target == self.partition:
+            # Sources of this attempt may still ship; bounce everything so
+            # their heads unblock with the variables unchanged.
+            self.aborted_cmds.add(key)
+            self._bounce_received(key)
+        else:
+            # As a source we will not ship — tell the others so a target
+            # without the cached result aborts instead of gathering forever.
+            for partition in payload.involved():
+                if partition != self.partition:
+                    self._send_to_partition(
+                        partition,
+                        TransferFailed(
+                            payload.command.uid, self.partition, payload.attempt
+                        ),
+                        uid=f"tf:{payload.command.uid}:{payload.attempt}:{self.partition}",
+                    )
+        return True
 
     def _global_as_target(self, payload: GlobalCommand) -> bool:
         command = payload.command
@@ -306,9 +431,13 @@ class PartitionServer(MulticastReplica):
                 self._index_var(var)
                 borrowed.append(var)
         result, status, written, _removed = self._tracked_execute(command)
+        nodes = {n for n, _ in payload.locations}
+        self._cache_exec_result(payload, status, result, nodes)
 
         # Return every variable that belongs to a source node — including
-        # variables the execution just created for those nodes.
+        # variables the execution just created for those nodes.  The cached
+        # result rides along so sources can answer retries themselves.
+        exec_entry = ((command.uid, status, result, payload.attempt),)
         home_of = dict(payload.locations)
         returns: dict[str, list] = {}
         for var in set(borrowed) | written:
@@ -324,8 +453,13 @@ class PartitionServer(MulticastReplica):
             self._send_to_partition(
                 home,
                 VarReturn(
-                    command.uid, self.partition, tuple(pairs), payload.attempt
+                    command.uid,
+                    self.partition,
+                    tuple(pairs),
+                    payload.attempt,
+                    exec_entry,
                 ),
+                uid=f"vr:{command.uid}:{payload.attempt}:{self.partition}->{home}",
             )
             for var, _ in pairs:
                 self.store.discard(var)
@@ -335,7 +469,6 @@ class PartitionServer(MulticastReplica):
         self._reply(payload, status, result)
         self.executed_count += 1
         self.multi_partition_count += 1
-        nodes = {n for n, _ in payload.locations}
         self._record_hint(nodes)
         self._cleanup_cmd(key)
         if self._records_metrics:
@@ -365,6 +498,7 @@ class PartitionServer(MulticastReplica):
                 VarTransfer(
                     command.uid, self.partition, tuple(pairs), payload.attempt
                 ),
+                uid=f"vt:{command.uid}:{payload.attempt}:{self.partition}",
             )
             state["sent"] = True
             if self._records_metrics:
@@ -401,8 +535,13 @@ class PartitionServer(MulticastReplica):
         self._send_to_partition(
             payload.target,
             VarTransfer(
-                payload.command.uid, self.partition, tuple(pairs), payload.attempt
+                payload.command.uid,
+                self.partition,
+                tuple(pairs),
+                payload.attempt,
+                self._exec_entries_for(claimed),
             ),
+            uid=f"vt:{payload.command.uid}:{payload.attempt}:{self.partition}",
         )
         if self._records_metrics:
             self.monitor.series(f"objects:{self.partition}").record(
@@ -431,7 +570,9 @@ class PartitionServer(MulticastReplica):
         for node, _ in payload.locations:
             self.owned_nodes.add(node)
             self.last_plan[node] = self.partition
-        self._execute_and_reply(payload)
+        self._execute_and_reply(
+            payload, record_hint_nodes={n for n, _ in payload.locations}
+        )
         self.multi_partition_count += 1
         self._cleanup_cmd(key)
         if self._records_metrics:
@@ -454,6 +595,7 @@ class PartitionServer(MulticastReplica):
                         TransferFailed(
                             payload.command.uid, self.partition, payload.attempt
                         ),
+                        uid=f"tf:{payload.command.uid}:{payload.attempt}:{self.partition}",
                     )
         if payload.target == self.partition:
             self.aborted_cmds.add(key)
@@ -465,7 +607,9 @@ class PartitionServer(MulticastReplica):
         cmd_uid, attempt = key
         for source, pairs in self.recv_transfers.get(key, {}).items():
             self._send_to_partition(
-                source, VarReturn(cmd_uid, self.partition, pairs, attempt)
+                source,
+                VarReturn(cmd_uid, self.partition, pairs, attempt),
+                uid=f"vr:{cmd_uid}:{attempt}:{self.partition}->{source}",
             )
         self.recv_transfers.pop(key, None)
 
@@ -478,6 +622,7 @@ class PartitionServer(MulticastReplica):
     # -- transfer plumbing ------------------------------------------------------------------
 
     def _on_var_transfer(self, msg: VarTransfer) -> None:
+        self._merge_exec_entries(msg.exec_entries)
         if msg.key in self._finished_cmds:
             return  # late duplicate from the source's other replica
         if msg.key in self.aborted_cmds:
@@ -485,6 +630,7 @@ class PartitionServer(MulticastReplica):
             self._send_to_partition(
                 msg.from_partition,
                 VarReturn(msg.cmd_uid, self.partition, msg.vars, msg.attempt),
+                uid=f"vr:{msg.cmd_uid}:{msg.attempt}:{self.partition}->{msg.from_partition}",
             )
             return
         buf = self.recv_transfers.setdefault(msg.key, {})
@@ -493,6 +639,7 @@ class PartitionServer(MulticastReplica):
         self._pump()
 
     def _on_var_return(self, msg: VarReturn) -> None:
+        self._merge_exec_entries(msg.exec_entries)
         if msg.key in self._finished_cmds:
             return
         buf = self.recv_returns.setdefault(msg.key, {})
@@ -511,19 +658,25 @@ class PartitionServer(MulticastReplica):
     def _apply_create(self, payload: CreateVar) -> bool:
         if payload.partition != self.partition:
             return True
+        if self._reply_cached(payload):
+            return True
         self.store.put(payload.var, self.app.initial_value_of(payload.var))
         self._index_var(payload.var)
         self.owned_nodes.add(payload.node)
         self.last_plan[payload.node] = self.partition
+        self._cache_exec_result(payload, ReplyStatus.OK, True, (payload.node,))
         self._reply(payload, ReplyStatus.OK, True)
         return True
 
     def _apply_delete(self, payload: DeleteVar) -> bool:
         if payload.partition != self.partition:
             return True
+        if self._reply_cached(payload):
+            return True
         self.store.discard(payload.var)
         self._unindex_var(payload.var)
         self.owned_nodes.discard(payload.node)
+        self._cache_exec_result(payload, ReplyStatus.OK, True, (payload.node,))
         self._reply(payload, ReplyStatus.OK, True)
         return True
 
@@ -559,7 +712,14 @@ class PartitionServer(MulticastReplica):
                         self._unindex_var(var)
                     self._send_to_partition(
                         new_owner,
-                        PlanTransfer(plan.version, node, self.partition, pairs),
+                        PlanTransfer(
+                            plan.version,
+                            node,
+                            self.partition,
+                            pairs,
+                            self._exec_entries_for((node,)),
+                        ),
+                        uid=f"pt:{plan.version}:{node!r}:{self.partition}",
                     )
                     moved_out_objects += len(pairs)
         if self._records_metrics:
@@ -575,6 +735,7 @@ class PartitionServer(MulticastReplica):
             self._index_var(var)
 
     def _on_plan_transfer(self, msg: PlanTransfer) -> None:
+        self._merge_exec_entries(msg.exec_entries)
         key = (msg.version, msg.node, msg.from_partition)
         if key in self._plan_transfer_seen:
             return
@@ -595,7 +756,14 @@ class PartitionServer(MulticastReplica):
             if owner is not None and owner != self.partition:
                 self._send_to_partition(
                     owner,
-                    PlanTransfer(self.version, msg.node, self.partition, msg.vars),
+                    PlanTransfer(
+                        self.version,
+                        msg.node,
+                        self.partition,
+                        msg.vars,
+                        msg.exec_entries,
+                    ),
+                    uid=f"pt:{self.version}:{msg.node!r}:{self.partition}",
                 )
         # Owned and settled: duplicate copy, nothing to do.
 
@@ -652,6 +820,27 @@ class PartitionServer(MulticastReplica):
             ),
         )
 
-    def _send_to_partition(self, partition: str, message: Any) -> None:
+    def _send_to_partition(
+        self, partition: str, message: Any, uid: Optional[str] = None
+    ) -> None:
+        """Send ``message`` to every replica of ``partition``.
+
+        With a ``uid``, the message goes through the reliable channel:
+        it is wrapped in a :class:`ReliableMsg` kept in the outbox and
+        retransmitted until each destination replica acks.  Logical uids
+        are identical across this partition's replicas, so destinations
+        process each transfer once no matter which replicas sent it or
+        how often it was retransmitted.
+        """
+        if uid is None or self.retransmit_period <= 0:
+            for replica in self._directory.replicas_of(partition):
+                self.send(replica, message)
+            return
+        envelope = ReliableMsg(uid, message)
         for replica in self._directory.replicas_of(partition):
-            self.send(replica, message)
+            self._outbox[(replica, uid)] = envelope
+            self.send(replica, envelope)
+
+    def _retransmit_outbox(self) -> None:
+        for (replica, _uid), envelope in self._outbox.items():
+            self.send(replica, envelope)

@@ -59,6 +59,18 @@ class SystemConfig:
     service_time: float = 0.0
     latency: Optional[LatencyModel] = None
     oracle_dispatch: bool = False  # base protocol: oracle forwards commands
+    #: Independent per-message drop probability (0 = reliable network).
+    #: Nonzero loss requires client timeouts to guarantee progress.
+    loss_probability: float = 0.0
+    #: Default client request timeout (None = disabled); per-client values
+    #: can still be passed to :meth:`DynaStarSystem.add_client`.
+    client_timeout: Optional[float] = None
+    client_backoff: float = 2.0
+    client_timeout_cap: Optional[float] = None
+    client_max_attempts: int = 100
+    #: Period of the servers' reliable-channel retransmission timer
+    #: (0 disables retransmission).
+    retransmit_period: float = 0.5
     #: Target-partition selection for multi-partition commands
     #: ("most_nodes" is the paper's rule; others exist for ablations).
     target_policy: str = "most_nodes"
@@ -90,6 +102,8 @@ class DynaStarSystem:
             self.sim,
             default_latency=cfg.latency or lan_default(),
             rng=self.seeds.rng("network"),
+            loss_probability=cfg.loss_probability,
+            monitor=self.monitor,
         )
         self.directory = GroupDirectory(self.net)
         self.partition_names = [f"p{i}" for i in range(cfg.n_partitions)]
@@ -163,6 +177,7 @@ class DynaStarSystem:
             oracle_group=self.oracle_group,
             hint_period=cfg.hint_period,
             service_time=cfg.service_time,
+            retransmit_period=cfg.retransmit_period,
             **kwargs,
         )
 
@@ -223,7 +238,10 @@ class DynaStarSystem:
         use_cache: bool = True,
         history: Optional[History] = None,
         stop_at: Optional[float] = None,
+        request_timeout: Optional[float] = None,
+        max_attempts: Optional[int] = None,
     ) -> DynaStarClient:
+        cfg = self.config
         if name is None:
             name = f"client{self._client_seq}"
             self._client_seq += 1
@@ -235,10 +253,18 @@ class DynaStarSystem:
             oracle_group=self.oracle_group,
             monitor=self.monitor,
             use_cache=use_cache,
-            dispatch_via_oracle=self.config.oracle_dispatch,
+            dispatch_via_oracle=cfg.oracle_dispatch,
             history=history,
             stop_at=stop_at,
-            target_policy=self.config.target_policy,
+            target_policy=cfg.target_policy,
+            max_attempts=(
+                max_attempts if max_attempts is not None else cfg.client_max_attempts
+            ),
+            request_timeout=(
+                request_timeout if request_timeout is not None else cfg.client_timeout
+            ),
+            backoff_factor=cfg.client_backoff,
+            max_timeout=cfg.client_timeout_cap,
         )
         self.net.register(client)
         self.clients.append(client)

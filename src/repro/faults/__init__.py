@@ -1,0 +1,31 @@
+"""Deterministic chaos injection for DynaStar systems.
+
+The package provides three pieces:
+
+* :mod:`repro.faults.schedule` — :class:`FaultEvent` / :class:`FaultSchedule`,
+  a validated, time-sorted script of faults (crashes *and recoveries*,
+  link cuts/heals, one-way cuts, loss bursts, delay spikes).
+* :mod:`repro.faults.injector` — :class:`ChaosInjector`, which arms a
+  schedule against a running :class:`~repro.core.system.DynaStarSystem`
+  and records every applied fault for replay/determinism checks.
+* :mod:`repro.faults.random_chaos` — :class:`ChaosConfig` and
+  :func:`generate`, a seeded generator of randomized-but-safe schedules
+  (quorums are never lost, every crash is paired with a recovery).
+
+Everything is driven by the simulation's virtual clock and seeded RNG
+streams, so a failing run reproduces exactly from its seed.
+"""
+
+from repro.faults.schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+from repro.faults.injector import ChaosInjector
+from repro.faults.random_chaos import ChaosConfig, generate, generate_for_system
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "ChaosInjector",
+    "ChaosConfig",
+    "generate",
+    "generate_for_system",
+]

@@ -1,0 +1,133 @@
+"""The chaos injector: applies a :class:`FaultSchedule` to a live system.
+
+The injector schedules every fault on the system's event heap at arm
+time, so the faults interleave deterministically with protocol traffic
+on the virtual clock.  Each applied fault is appended to
+:attr:`ChaosInjector.applied` and counted under a ``fault:<kind>``
+monitor counter — the applied log is the ground truth for replay
+determinism tests (same seed, same schedule ⇒ identical logs).
+
+``crash_leader`` is resolved at fire time (whichever replica leads the
+group then); the matching ``recover_leader`` recovers exactly the
+replicas its group's earlier ``crash_leader`` events took down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.sim.monitor import Monitor
+
+
+class ChaosInjector:
+    """Arms a fault schedule against a :class:`DynaStarSystem`.
+
+    Works with any object exposing ``sim``, ``net``, ``monitor`` and
+    ``directory.groups`` the way :class:`~repro.core.system.DynaStarSystem`
+    does.
+    """
+
+    def __init__(self, system, schedule: FaultSchedule, monitor: Optional[Monitor] = None):
+        self.system = system
+        self.schedule = schedule
+        self.monitor = monitor or getattr(system, "monitor", None) or Monitor()
+        #: (virtual_time, kind, args) triples in application order.
+        self.applied: list[tuple] = []
+        self._crashed_leaders: dict[str, list] = {}
+        self._armed = False
+
+    def arm(self) -> "ChaosInjector":
+        """Schedule every fault on the system's event heap (idempotent
+        guard: arming twice would double-apply every fault)."""
+        if self._armed:
+            raise RuntimeError("chaos injector is already armed")
+        self._armed = True
+        for event in self.schedule:
+            self.system.sim.schedule_at(event.at, self._make_apply(event))
+        return self
+
+    def _make_apply(self, event: FaultEvent):
+        def apply() -> None:
+            handler = getattr(self, f"_do_{event.kind}")
+            handler(*event.args)
+            self.applied.append((self.system.sim.now, event.kind, event.args))
+            self.monitor.counter(f"fault:{event.kind}").inc()
+
+        return apply
+
+    # -- group helpers ------------------------------------------------------
+
+    def _group(self, name: str):
+        try:
+            return self.system.directory.groups[name]
+        except KeyError:
+            known = ", ".join(sorted(self.system.directory.groups))
+            raise KeyError(
+                f"unknown group {name!r} in fault schedule (groups: {known})"
+            ) from None
+
+    # -- crash / recover ----------------------------------------------------
+
+    def _do_crash_replica(self, group: str, index: int) -> None:
+        self._group(group).replicas[index].crash()
+
+    def _do_recover_replica(self, group: str, index: int) -> None:
+        self._group(group).replicas[index].recover()
+
+    def _do_crash_acceptor(self, group: str, index: int) -> None:
+        self._group(group).acceptors[index].crash()
+
+    def _do_recover_acceptor(self, group: str, index: int) -> None:
+        self._group(group).acceptors[index].recover()
+
+    def _do_crash_leader(self, group: str) -> None:
+        g = self._group(group)
+        victim = g.leader
+        if victim is None:
+            # No settled leader right now; hit the first live replica so
+            # the schedule still injects a fault.
+            alive = g.alive_replicas
+            victim = alive[0] if alive else None
+        if victim is not None:
+            victim.crash()
+            self._crashed_leaders.setdefault(group, []).append(victim)
+
+    def _do_recover_leader(self, group: str) -> None:
+        for replica in self._crashed_leaders.pop(group, []):
+            replica.recover()
+
+    # -- links --------------------------------------------------------------
+
+    def _do_cut(self, a: str, b: str) -> None:
+        self.system.net.cut(a, b)
+
+    def _do_heal(self, a: str, b: str) -> None:
+        self.system.net.heal(a, b)
+
+    def _do_cut_oneway(self, src: str, dst: str) -> None:
+        self.system.net.cut_oneway(src, dst)
+
+    def _do_heal_oneway(self, src: str, dst: str) -> None:
+        self.system.net.heal_oneway(src, dst)
+
+    def _do_partition_groups(self, side_a, side_b) -> None:
+        self.system.net.partition_groups(list(side_a), list(side_b))
+
+    def _do_heal_groups(self, side_a, side_b) -> None:
+        self.system.net.heal_groups(list(side_a), list(side_b))
+
+    def _do_heal_all(self) -> None:
+        self.system.net.heal_all()
+
+    # -- traffic windows ----------------------------------------------------
+
+    def _do_loss_burst(self, duration: float, probability: float) -> None:
+        self.system.net.schedule_loss_burst(
+            self.system.sim.now, duration, probability
+        )
+
+    def _do_delay_spike(self, duration: float, extra: float) -> None:
+        self.system.net.schedule_delay_spike(
+            self.system.sim.now, duration, extra
+        )

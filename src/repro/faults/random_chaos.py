@@ -1,0 +1,151 @@
+"""Seeded random fault-schedule generation with safety constraints.
+
+The generator produces schedules that are chaotic but *survivable*:
+
+* per group, at most one replica is down at any time, and every crash
+  is paired with a recovery (crash windows are serialized into slots);
+* per group, at most one acceptor is down at any time — a quorum of the
+  usual 3 acceptors always stays up;
+* every link cut is healed before the horizon;
+* loss bursts and delay spikes are bounded windows.
+
+Given the same :class:`ChaosConfig` and seed, :func:`generate` returns
+the identical schedule — reproduce a failing run by re-running its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.faults.schedule import FaultEvent, FaultSchedule
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Shape of a randomized chaos run."""
+
+    #: Faults are placed in the window [start_after, duration].
+    duration: float = 20.0
+    start_after: float = 1.0
+    #: Crash/recover windows per group (replicas and acceptors).
+    replica_crashes_per_group: int = 1
+    acceptor_crashes_per_group: int = 1
+    #: Probability that a replica crash targets the current leader.
+    leader_crash_probability: float = 0.5
+    #: Bidirectional link cut/heal windows across the whole run.
+    link_cuts: int = 2
+    #: One-way cut/heal windows across the whole run.
+    oneway_cuts: int = 1
+    loss_bursts: int = 1
+    delay_spikes: int = 1
+    min_downtime: float = 0.5
+    max_downtime: float = 2.0
+    burst_probability: float = 0.2
+    burst_duration: float = 1.0
+    spike_extra: float = 0.01
+    spike_duration: float = 1.0
+
+    def __post_init__(self):
+        if self.duration <= self.start_after:
+            raise ValueError("duration must exceed start_after")
+        if self.min_downtime > self.max_downtime:
+            raise ValueError("min_downtime must be <= max_downtime")
+
+
+def _windows(rng: random.Random, config: ChaosConfig, count: int):
+    """``count`` non-overlapping (start, end) windows inside the fault
+    span, one per equal slot, each long enough for a min_downtime."""
+    span_start, span_end = config.start_after, config.duration
+    slot = (span_end - span_start) / max(count, 1)
+    out = []
+    for i in range(count):
+        lo = span_start + i * slot
+        hi = lo + slot
+        downtime = rng.uniform(
+            config.min_downtime, min(config.max_downtime, max(slot * 0.8, config.min_downtime))
+        )
+        downtime = min(downtime, (hi - lo) * 0.9)
+        start = rng.uniform(lo, max(lo, hi - downtime))
+        out.append((start, start + downtime))
+    return out
+
+
+def generate(
+    config: ChaosConfig,
+    groups: Sequence[str],
+    seed: int,
+    replicas_per_group: int = 2,
+    acceptors_per_group: int = 3,
+    link_actors: Sequence[str] = (),
+) -> FaultSchedule:
+    """Build a randomized, safe schedule.
+
+    ``groups`` are the group names eligible for crashes (partitions and,
+    if desired, the oracle).  ``link_actors`` are actor names eligible
+    for link cuts; leave empty to disable cuts.
+    """
+    rng = random.Random(seed)
+    schedule = FaultSchedule()
+
+    for group in groups:
+        # Replica crash windows (serialized per group, keeping a replica up).
+        for start, end in _windows(rng, config, config.replica_crashes_per_group):
+            if replicas_per_group > 1 and rng.random() < config.leader_crash_probability:
+                schedule.at(start, "crash_leader", group)
+                schedule.at(end, "recover_leader", group)
+            else:
+                index = rng.randrange(replicas_per_group)
+                schedule.at(start, "crash_replica", group, index)
+                schedule.at(end, "recover_replica", group, index)
+        # Acceptor crash windows (one acceptor down at a time: quorum safe).
+        for start, end in _windows(rng, config, config.acceptor_crashes_per_group):
+            index = rng.randrange(acceptors_per_group)
+            schedule.at(start, "crash_acceptor", group, index)
+            schedule.at(end, "recover_acceptor", group, index)
+
+    actors = list(link_actors)
+    if len(actors) >= 2:
+        for start, end in _windows(rng, config, config.link_cuts):
+            a, b = rng.sample(actors, 2)
+            schedule.at(start, "cut", a, b)
+            schedule.at(end, "heal", a, b)
+        for start, end in _windows(rng, config, config.oneway_cuts):
+            a, b = rng.sample(actors, 2)
+            schedule.at(start, "cut_oneway", a, b)
+            schedule.at(end, "heal_oneway", a, b)
+
+    for start, _end in _windows(rng, config, config.loss_bursts):
+        schedule.at(start, "loss_burst", config.burst_duration, config.burst_probability)
+    for start, _end in _windows(rng, config, config.delay_spikes):
+        schedule.at(start, "delay_spike", config.spike_duration, config.spike_extra)
+
+    return schedule
+
+
+def generate_for_system(
+    system,
+    config: ChaosConfig,
+    seed: int,
+    include_oracle: bool = True,
+    cut_links: bool = True,
+) -> FaultSchedule:
+    """Generate a schedule shaped to a :class:`DynaStarSystem`: its
+    partition groups (plus the oracle), replica/acceptor counts, and —
+    when ``cut_links`` — its replica actor names as link endpoints."""
+    groups = list(system.partition_names)
+    if include_oracle:
+        groups.append(system.oracle_group)
+    link_actors: list[str] = []
+    if cut_links:
+        for name in groups:
+            link_actors.extend(system.directory.groups[name].replica_names)
+    return generate(
+        config,
+        groups,
+        seed,
+        replicas_per_group=system.config.n_replicas,
+        acceptors_per_group=system.config.n_acceptors,
+        link_actors=link_actors,
+    )

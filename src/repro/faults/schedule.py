@@ -1,0 +1,146 @@
+"""Fault schedules: validated, time-sorted scripts of fault events.
+
+A schedule is a list of :class:`FaultEvent` entries.  Each event has a
+virtual-time ``at``, a ``kind`` from :data:`FAULT_KINDS`, and positional
+``args`` whose shape depends on the kind:
+
+==================  =============================================
+kind                args
+==================  =============================================
+crash_replica       (group, index)
+recover_replica     (group, index)
+crash_acceptor      (group, index)
+recover_acceptor    (group, index)
+crash_leader        (group,)            — whoever leads at fire time
+recover_leader      (group,)            — recovers what crash_leader hit
+cut                 (actor_a, actor_b)
+heal                (actor_a, actor_b)
+cut_oneway          (src_actor, dst_actor)
+heal_oneway         (src_actor, dst_actor)
+partition_groups    (side_a, side_b)    — tuples of actor names
+heal_groups         (side_a, side_b)
+heal_all            ()
+loss_burst          (duration, probability)
+delay_spike         (duration, extra_latency)
+==================  =============================================
+
+Schedules are plain data: they can be written by hand in tests, emitted
+by :mod:`repro.faults.random_chaos`, or logged and replayed — the
+injector applies them deterministically against the virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+#: Number of positional args each fault kind expects.
+_KIND_ARITY = {
+    "crash_replica": 2,
+    "recover_replica": 2,
+    "crash_acceptor": 2,
+    "recover_acceptor": 2,
+    "crash_leader": 1,
+    "recover_leader": 1,
+    "cut": 2,
+    "heal": 2,
+    "cut_oneway": 2,
+    "heal_oneway": 2,
+    "partition_groups": 2,
+    "heal_groups": 2,
+    "heal_all": 0,
+    "loss_burst": 2,
+    "delay_spike": 2,
+}
+
+FAULT_KINDS = frozenset(_KIND_ARITY)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: apply ``kind(*args)`` at virtual time ``at``."""
+
+    at: float
+    kind: str
+    args: tuple = ()
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.at}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if len(self.args) != _KIND_ARITY[self.kind]:
+            raise ValueError(
+                f"{self.kind} takes {_KIND_ARITY[self.kind]} args, "
+                f"got {len(self.args)}: {self.args!r}"
+            )
+        # Validate traffic-fault arg domains here rather than letting a
+        # bad value surface as a mid-run exception at fire time.
+        if self.kind in ("loss_burst", "delay_spike"):
+            duration, amount = self.args
+            if not isinstance(duration, (int, float)) or not isinstance(
+                amount, (int, float)
+            ):
+                raise ValueError(
+                    f"{self.kind} args must be numeric, got {self.args!r}"
+                )
+            if duration <= 0:
+                raise ValueError(
+                    f"{self.kind} duration must be positive, got {duration}"
+                )
+            if self.kind == "loss_burst" and not 0.0 <= amount <= 1.0:
+                raise ValueError(
+                    f"loss_burst probability must be in [0, 1], got {amount}"
+                )
+            if self.kind == "delay_spike" and amount < 0:
+                raise ValueError(
+                    f"delay_spike extra latency must be non-negative, got {amount}"
+                )
+
+    def describe(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"t={self.at:.3f} {self.kind}({args})"
+
+
+class FaultSchedule:
+    """An ordered collection of fault events.
+
+    Events are kept sorted by time (stable for equal times, preserving
+    insertion order), so iteration yields the execution order.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self._events: list[FaultEvent] = []
+        for event in events:
+            self.add(event)
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        if not isinstance(event, FaultEvent):
+            raise TypeError(f"expected FaultEvent, got {type(event).__name__}")
+        self._events.append(event)
+        return self
+
+    def at(self, time: float, kind: str, *args) -> "FaultSchedule":
+        """Convenience builder: ``schedule.at(2.0, "crash_leader", "p0")``."""
+        return self.add(FaultEvent(time, kind, tuple(args)))
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(sorted(self._events, key=lambda e: e.at))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> list[FaultEvent]:
+        return list(self)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last event (0 for an empty schedule)."""
+        return max((e.at for e in self._events), default=0.0)
+
+    def describe(self) -> str:
+        return "\n".join(event.describe() for event in self)
+
+    def __repr__(self) -> str:
+        return f"<FaultSchedule {len(self._events)} events, horizon {self.horizon:.3f}>"

@@ -72,6 +72,7 @@ class MulticastReplica(PaxosReplica):
         self.clock = 0
         self.pending_msgs: dict[str, _Pending] = {}
         self.adelivered_uids: set[str] = set()
+        self._adelivered_ts: dict[str, int] = {}
         self.adelivered_count = 0
         self._fifo_next: dict[str, int] = {}
         self._fifo_blocked: dict[str, dict[int, MulticastMessage]] = {}
@@ -91,6 +92,10 @@ class MulticastReplica(PaxosReplica):
         if not self._retransmit_timer_armed:
             self._retransmit_timer_armed = True
             self.set_periodic_timer(0.25, self._retransmit_stalled)
+
+    def on_recover(self) -> None:
+        self._retransmit_timer_armed = False
+        super().on_recover()
 
     # -- log delivery (the deterministic Skeen machine) --------------------------
 
@@ -151,8 +156,17 @@ class MulticastReplica(PaxosReplica):
                         self.send(replica, notice)
 
     def _retransmit_stalled(self) -> None:
-        """Leader re-ships timestamps for messages still missing remote
-        timestamps — covers RemoteTs lost to leader crashes."""
+        """Leader re-ships state for messages still missing remote
+        timestamps.
+
+        Two failure modes are covered: the RemoteTs itself was lost
+        (leader crash, message loss), and — worse — a destination group
+        never received the OrderEvent at all, so it will never produce a
+        timestamp and the min-pending gate wedges *every* group.  The
+        leader therefore re-sends both its own RemoteTs and the original
+        OrderEvent to the groups whose timestamps are missing (uid-dedup
+        in their logs makes this idempotent).
+        """
         if not self.is_leader or self._directory is None:
             return
         for entry in self.pending_msgs.values():
@@ -162,10 +176,36 @@ class MulticastReplica(PaxosReplica):
             if self.group not in entry.ts_from:
                 continue
             notice = RemoteTs(msg.uid, self.group, entry.ts_from[self.group])
+            order = Submit(OrderEvent(msg))
             for dest_group in msg.dests:
                 if dest_group != self.group:
                     for replica in self._directory.replicas_of(dest_group):
                         self.send(replica, notice)
+                        if dest_group not in entry.ts_from:
+                            self.send(replica, order)
+
+    def submit(self, value: Any) -> None:
+        if isinstance(value, OrderEvent) and value.message.uid in self.adelivered_uids:
+            # The Paxos layer would silently dedup this re-submitted
+            # OrderEvent.  But a duplicate Order for a message we already
+            # a-delivered is a probe: some peer group is still pending on
+            # our timestamp (its copies of our RemoteTs were lost after we
+            # dropped the pending entry).  Staying silent wedges that
+            # peer's min-pending gate forever — answer from the retained
+            # timestamp instead.
+            self._reanswer_ts(value.message)
+            return
+        super().submit(value)
+
+    def _reanswer_ts(self, msg: MulticastMessage) -> None:
+        ts = self._adelivered_ts.get(msg.uid)
+        if ts is None or not self.is_leader or self._directory is None:
+            return
+        notice = RemoteTs(msg.uid, self.group, ts)
+        for dest_group in msg.dests:
+            if dest_group != self.group:
+                for replica in self._directory.replicas_of(dest_group):
+                    self.send(replica, notice)
 
     # -- replica-to-replica timestamps -------------------------------------------
 
@@ -194,6 +234,12 @@ class MulticastReplica(PaxosReplica):
                 return
             del self.pending_msgs[head.message.uid]
             self.adelivered_uids.add(head.message.uid)
+            if not head.message.is_single_group:
+                # Keep our timestamp: a peer group whose copy of our
+                # RemoteTs was lost will probe with a duplicate
+                # OrderEvent after we dropped the pending entry, and we
+                # must still be able to answer (see :meth:`submit`).
+                self._adelivered_ts[head.message.uid] = head.ts_from[self.group]
             self._fifo_gate(head.message)
 
     def _fifo_gate(self, msg: MulticastMessage) -> None:

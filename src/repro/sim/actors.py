@@ -151,9 +151,22 @@ class Actor:
         self._timers.clear()
 
     def recover(self) -> None:
-        """Clear the crashed flag; protocol state must be rebuilt by the
-        subclass (volatile state is NOT restored automatically)."""
+        """Clear the crashed flag and invoke :meth:`on_recover`.
+
+        The crash-recovery model (§2.1): state the subclass treats as
+        *stable storage* survives in the Python object; everything
+        volatile (timers, in-flight bookkeeping) was lost at
+        :meth:`crash` and must be rebuilt in :meth:`on_recover`.
+        Recovering a live actor is a no-op.
+        """
+        if not self.crashed:
+            return
         self.crashed = False
+        self.on_recover()
+
+    def on_recover(self) -> None:
+        """Hook for subclasses: rebuild volatile state and re-arm timers
+        after a crash.  The base actor has nothing to rebuild."""
 
     def __repr__(self) -> str:
         state = " CRASHED" if self.crashed else ""

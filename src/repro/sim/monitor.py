@@ -203,6 +203,15 @@ class Monitor:
     def counters(self) -> dict[str, int]:
         return {name: c.value for name, c in self._counters.items()}
 
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        """Counters whose name starts with ``prefix`` (e.g. ``net_drop:``
+        for per-reason drop accounting, ``fault:`` for injected faults)."""
+        return {
+            name: c.value
+            for name, c in self._counters.items()
+            if name.startswith(prefix)
+        }
+
     def snapshot(self) -> dict[str, dict]:
         """A JSON-friendly dump of everything collected so far."""
         return {

@@ -5,9 +5,13 @@ applicable latency model and schedules delivery on the event heap.  The
 network supports:
 
 * per-destination-pair latency overrides (e.g. cross-datacenter links),
-* probabilistic message loss,
+* probabilistic message loss, plus scheduled *loss bursts* (windows of
+  elevated loss) and *delay spikes* (windows of added latency) for
+  chaos testing,
 * network partitions (a set of unordered name pairs that cannot talk),
-* message counters for experiment accounting.
+  including one-way cuts for asymmetric faults,
+* message counters for experiment accounting, with per-reason drop
+  accounting surfaced through an optional :class:`~repro.sim.monitor.Monitor`.
 
 Reliable channels between correct processes (the system-model assumption
 in §2.1 of the paper) are obtained by leaving ``loss_probability`` at 0;
@@ -23,6 +27,7 @@ from typing import Any, Optional
 from repro.sim.actors import Actor
 from repro.sim.events import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.monitor import Monitor
 
 
 class NetworkPartitionError(RuntimeError):
@@ -42,6 +47,9 @@ class Network:
         RNG used for latency samples and loss draws; pass a seeded stream.
     loss_probability:
         Independent probability that any one message is silently dropped.
+    monitor:
+        Optional metrics registry; when given, drops are also counted
+        per reason under ``net_drop:<reason>`` counters.
     """
 
     def __init__(
@@ -50,6 +58,7 @@ class Network:
         default_latency: Optional[LatencyModel] = None,
         rng: Optional[random.Random] = None,
         loss_probability: float = 0.0,
+        monitor: Optional[Monitor] = None,
     ):
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError("loss_probability must be in [0, 1)")
@@ -57,14 +66,18 @@ class Network:
         self.default_latency = default_latency or ConstantLatency(0.0005)
         self.rng = rng or random.Random(0)
         self.loss_probability = loss_probability
+        self.monitor = monitor
         self._actors: dict[str, Actor] = {}
         self._pair_latency: dict[tuple[str, str], LatencyModel] = {}
         self._cut_links: set[frozenset[str]] = set()
         self._directed_cuts: set[tuple[str, str]] = set()
+        self._loss_bursts: list[tuple[float, float, float]] = []
+        self._delay_spikes: list[tuple[float, float, float]] = []
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
+        self.drops_by_reason: dict[str, int] = {}
 
     # -- membership ---------------------------------------------------------
 
@@ -107,12 +120,21 @@ class Network:
 
     def heal(self, a: str, b: str) -> None:
         """Restore the link between ``a`` and ``b``."""
+        for name in (a, b):
+            if name not in self._actors:
+                raise NetworkPartitionError(f"unknown actor {name!r}")
         self._cut_links.discard(frozenset((a, b)))
 
     def partition_groups(self, side_a: list[str], side_b: list[str]) -> None:
         """Cut every link crossing the two sides."""
         for a, b in itertools.product(side_a, side_b):
             self.cut(a, b)
+
+    def heal_groups(self, side_a: list[str], side_b: list[str]) -> None:
+        """Restore every link crossing the two sides (the counterpart to
+        :meth:`partition_groups`)."""
+        for a, b in itertools.product(side_a, side_b):
+            self.heal(a, b)
 
     def cut_oneway(self, src: str, dst: str) -> None:
         """Sever only the ``src -> dst`` direction (asymmetric faults)."""
@@ -122,6 +144,9 @@ class Network:
         self._directed_cuts.add((src, dst))
 
     def heal_oneway(self, src: str, dst: str) -> None:
+        for name in (src, dst):
+            if name not in self._actors:
+                raise NetworkPartitionError(f"unknown actor {name!r}")
         self._directed_cuts.discard((src, dst))
 
     def heal_all(self) -> None:
@@ -134,7 +159,56 @@ class Network:
             and (a, b) not in self._directed_cuts
         )
 
+    # -- chaos windows --------------------------------------------------------
+
+    def schedule_loss_burst(
+        self, start: float, duration: float, probability: float
+    ) -> None:
+        """Raise the loss probability to ``probability`` during the virtual
+        time window ``[start, start + duration)``.
+
+        Overlapping bursts do not stack; the maximum of the base
+        probability and every active burst applies.
+        """
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("burst probability must be in [0, 1)")
+        if duration <= 0:
+            raise ValueError("burst duration must be positive")
+        self._loss_bursts.append((start, start + duration, probability))
+
+    def schedule_delay_spike(self, start: float, duration: float, extra: float) -> None:
+        """Add ``extra`` seconds of one-way latency to every message sent
+        during ``[start, start + duration)``.  Overlapping spikes do not
+        stack; the maximum active ``extra`` applies."""
+        if extra < 0:
+            raise ValueError("delay spike extra must be non-negative")
+        if duration <= 0:
+            raise ValueError("spike duration must be positive")
+        self._delay_spikes.append((start, start + duration, extra))
+
+    def _effective_loss(self, now: float) -> tuple[float, str]:
+        """Return the loss probability in force at ``now`` and the drop
+        reason to record if a message loses the draw."""
+        p, reason = self.loss_probability, "loss"
+        for start, end, prob in self._loss_bursts:
+            if start <= now < end and prob > p:
+                p, reason = prob, "loss_burst"
+        return p, reason
+
+    def _extra_delay(self, now: float) -> float:
+        extra = 0.0
+        for start, end, amount in self._delay_spikes:
+            if start <= now < end and amount > extra:
+                extra = amount
+        return extra
+
     # -- transmission ---------------------------------------------------------
+
+    def _drop(self, reason: str) -> None:
+        self.messages_dropped += 1
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+        if self.monitor is not None:
+            self.monitor.counter(f"net_drop:{reason}").inc()
 
     def send(self, src: str, dst: str, message: Any, size: int = 1) -> None:
         """Queue ``message`` for delivery from ``src`` to ``dst``.
@@ -146,31 +220,34 @@ class Network:
         self.messages_sent += 1
         self.bytes_sent += size
         if dst not in self._actors:
-            self.messages_dropped += 1
+            self._drop("unknown_destination")
             return
         if not self.link_up(src, dst):
-            self.messages_dropped += 1
+            self._drop("link_cut")
             return
-        if self.loss_probability > 0 and self.rng.random() < self.loss_probability:
-            self.messages_dropped += 1
+        p, loss_reason = self._effective_loss(self.sim.now)
+        if p > 0 and self.rng.random() < p:
+            self._drop(loss_reason)
             return
         delay = self._latency_for(src, dst).sample(self.rng)
+        delay += self._extra_delay(self.sim.now)
         self.sim.schedule(delay, self._deliver, src, dst, message)
 
     def _deliver(self, src: str, dst: str, message: Any) -> None:
         actor = self._actors.get(dst)
         if actor is None or actor.crashed:
-            self.messages_dropped += 1
+            self._drop("crashed")
             return
         self.messages_delivered += 1
         actor.deliver(src, message)
 
     # -- stats ------------------------------------------------------------------
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, Any]:
         return {
             "sent": self.messages_sent,
             "delivered": self.messages_delivered,
             "dropped": self.messages_dropped,
             "bytes": self.bytes_sent,
+            "drop_reasons": dict(self.drops_by_reason),
         }

@@ -85,3 +85,86 @@ class TestServerReplicaCrash:
                     seen[var] = partition
                 break
         assert set(seen) == {f"k{i}" for i in range(24)}
+
+
+class TestAsymmetricFaults:
+    def test_oneway_cut_client_to_partition_recovers_after_heal(self):
+        """The client can reach one partition replica only through the
+        second replica after a one-way cut; healing restores direct
+        traffic.  Progress must continue throughout (uid dedup makes the
+        redundant submission paths safe)."""
+        from tests.faults.conftest import build_chaos_system
+
+        system = build_chaos_system(
+            n_keys=4, n_partitions=2, seed=3,
+            client_timeout=0.25, client_timeout_cap=1.0,
+        )
+        part = system.initial_assignment["k0"]
+        rep0 = system.servers(part)[0].name
+        cmds = [Command(f"c:{i}", "write", ("k0", i)) for i in range(12)]
+        cmds.append(Command("c:final", "read", ("k0",)))
+        client = system.add_client(ScriptedWorkload(cmds))
+        system.sim.schedule(0.02, system.net.cut_oneway, client.name, rep0)
+        system.sim.schedule(2.0, system.net.heal_oneway, client.name, rep0)
+        system.run(until=60.0)
+        assert client.done
+        assert client.completed == 13
+        assert ok_results(client)["c:final"] == 11
+
+    def test_oneway_cut_between_replicas_no_disruption(self):
+        """An asymmetric cut between a partition replica and an acceptor
+        leaves a quorum reachable; commands keep completing."""
+        from tests.faults.conftest import build_chaos_system
+
+        system = build_chaos_system(n_keys=4, n_partitions=2, seed=3)
+        part = system.partition_names[0]
+        rep = system.servers(part)[0].name
+        acc = system.partition_group(part).acceptor_names[0]
+        system.sim.schedule(0.0, system.net.cut_oneway, rep, acc)
+        cmds = [Command(f"c:{i}", "read", (f"k{i % 4}",)) for i in range(12)]
+        client = system.add_client(ScriptedWorkload(cmds))
+        system.run(until=30.0)
+        assert client.completed == 12
+
+
+class TestLossyRuns:
+    def test_single_partition_commands_complete_under_loss(self):
+        from tests.faults.conftest import build_chaos_system
+
+        system = build_chaos_system(
+            n_keys=4, n_partitions=1, seed=13,
+            loss_probability=0.05,
+            client_timeout=0.2, client_timeout_cap=2.0,
+        )
+        cmds = [Command(f"c:{i}", "write", ("k0", i)) for i in range(15)]
+        cmds.append(Command("c:final", "read", ("k0",)))
+        client = system.add_client(ScriptedWorkload(cmds))
+        system.run(until=120.0)
+        assert client.done
+        assert client.completed == 16
+        assert ok_results(client)["c:final"] == 14
+        assert system.net.drops_by_reason.get("loss", 0) > 0
+
+    def test_cross_partition_transfers_complete_under_loss(self):
+        from tests.faults.conftest import build_chaos_system
+
+        system = build_chaos_system(
+            n_keys=4, n_partitions=2, seed=21,
+            loss_probability=0.04,
+            client_timeout=0.2, client_timeout_cap=2.0,
+        )
+        loc = system.initial_assignment
+        keys = sorted(loc)
+        ka = keys[0]
+        kb = next((k for k in keys if loc[k] != loc[ka]), keys[1])
+        cmds = [Command(f"c:{i}", "transfer", (ka, kb, 1)) for i in range(10)]
+        client = system.add_client(ScriptedWorkload(cmds))
+        system.run(until=120.0)
+        assert client.done
+        assert client.completed + client.failed == 10
+        merged = system.all_store_variables()
+        # exactly-once execution: the transferred total matches the
+        # number of OK transfers, and no variable was lost
+        done = client.completed
+        assert merged[ka] == int(ka[1:]) - done
+        assert merged[kb] == int(kb[1:]) + done

@@ -1,0 +1,184 @@
+"""Fault schedules: validation, ordering, and seeded generation."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    ChaosConfig,
+    FaultEvent,
+    FaultSchedule,
+    generate,
+)
+
+
+class TestFaultEvent:
+    def test_valid_event(self):
+        event = FaultEvent(1.5, "crash_replica", ("p0", 1))
+        assert event.describe() == "t=1.500 crash_replica('p0', 1)"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultEvent(-0.1, "heal_all")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(1.0, "set_on_fire", ("p0",))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="takes 2 args"):
+            FaultEvent(1.0, "crash_replica", ("p0",))
+        with pytest.raises(ValueError, match="takes 0 args"):
+            FaultEvent(1.0, "heal_all", ("p0",))
+
+    def test_all_kinds_constructible(self):
+        candidates = [(), ("p0",), ("p0", 1), (0.5, 0.5)]
+        for kind in FAULT_KINDS:
+            for args in candidates:
+                try:
+                    FaultEvent(0.0, kind, args)
+                    break
+                except ValueError:
+                    continue
+            else:
+                pytest.fail(f"no candidate args worked for {kind}")
+
+
+class TestFaultSchedule:
+    def test_iteration_sorted_by_time(self):
+        schedule = (
+            FaultSchedule()
+            .at(5.0, "heal", "a", "b")
+            .at(1.0, "cut", "a", "b")
+            .at(3.0, "crash_leader", "p0")
+        )
+        assert [e.at for e in schedule] == [1.0, 3.0, 5.0]
+
+    def test_equal_times_preserve_insertion_order(self):
+        schedule = (
+            FaultSchedule()
+            .at(2.0, "crash_replica", "p0", 0)
+            .at(2.0, "crash_acceptor", "p0", 0)
+        )
+        kinds = [e.kind for e in schedule]
+        assert kinds == ["crash_replica", "crash_acceptor"]
+
+    def test_len_horizon_describe(self):
+        schedule = FaultSchedule().at(1.0, "heal_all").at(4.0, "crash_leader", "p1")
+        assert len(schedule) == 2
+        assert schedule.horizon == 4.0
+        assert "heal_all" in schedule.describe()
+        assert FaultSchedule().horizon == 0.0
+
+    def test_add_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            FaultSchedule().add(("crash", 1.0))
+
+    def test_init_from_iterable(self):
+        events = [FaultEvent(2.0, "heal_all"), FaultEvent(1.0, "heal_all")]
+        schedule = FaultSchedule(events)
+        assert len(schedule) == 2
+        assert schedule.events[0].at == 1.0
+
+
+class TestChaosConfig:
+    def test_duration_must_exceed_start(self):
+        with pytest.raises(ValueError, match="duration"):
+            ChaosConfig(duration=1.0, start_after=2.0)
+
+    def test_downtime_ordering_enforced(self):
+        with pytest.raises(ValueError, match="min_downtime"):
+            ChaosConfig(min_downtime=3.0, max_downtime=1.0)
+
+
+class TestGenerate:
+    def _gen(self, seed, **kwargs):
+        config = ChaosConfig(duration=10.0, start_after=1.0, **kwargs)
+        return generate(
+            config,
+            ["p0", "p1"],
+            seed=seed,
+            link_actors=["p0/rep0", "p0/rep1", "p1/rep0", "p1/rep1"],
+        )
+
+    def test_same_seed_identical_schedule(self):
+        a = self._gen(42)
+        b = self._gen(42)
+        assert [(e.at, e.kind, e.args) for e in a] == [
+            (e.at, e.kind, e.args) for e in b
+        ]
+
+    def test_different_seed_different_schedule(self):
+        a = self._gen(42)
+        b = self._gen(43)
+        assert [(e.at, e.kind, e.args) for e in a] != [
+            (e.at, e.kind, e.args) for e in b
+        ]
+
+    def test_every_crash_paired_with_recovery(self):
+        schedule = self._gen(7)
+        pending: dict = {}
+        for event in schedule:
+            if event.kind.startswith("crash_"):
+                key = (event.kind.removeprefix("crash_"), event.args)
+                pending[key] = pending.get(key, 0) + 1
+            elif event.kind.startswith("recover_"):
+                key = (event.kind.removeprefix("recover_"), event.args)
+                assert pending.get(key, 0) > 0, f"recovery before crash: {event}"
+                pending[key] -= 1
+        assert all(v == 0 for v in pending.values()), f"unrecovered: {pending}"
+
+    def test_every_cut_is_healed(self):
+        schedule = self._gen(7)
+        open_cuts: set = set()
+        for event in schedule:
+            if event.kind == "cut":
+                open_cuts.add(frozenset(event.args))
+            elif event.kind == "heal":
+                open_cuts.discard(frozenset(event.args))
+            elif event.kind == "cut_oneway":
+                open_cuts.add(event.args)
+            elif event.kind == "heal_oneway":
+                open_cuts.discard(event.args)
+        assert not open_cuts
+
+    def test_at_most_one_replica_down_per_group(self):
+        schedule = self._gen(11, replica_crashes_per_group=3)
+        down: dict = {}
+        for event in schedule:
+            if event.kind in ("crash_replica", "crash_leader"):
+                group = event.args[0]
+                down[group] = down.get(group, 0) + 1
+                assert down[group] <= 1, f"two replicas down in {group}"
+            elif event.kind in ("recover_replica", "recover_leader"):
+                down[event.args[0]] -= 1
+
+    def test_events_within_horizon(self):
+        config = ChaosConfig(duration=10.0, start_after=1.0)
+        schedule = generate(config, ["p0"], seed=5)
+        for event in schedule:
+            assert 1.0 <= event.at <= 10.0
+
+    def test_no_links_no_cuts(self):
+        config = ChaosConfig(duration=10.0)
+        schedule = generate(config, ["p0"], seed=5, link_actors=())
+        kinds = {e.kind for e in schedule}
+        assert "cut" not in kinds and "cut_oneway" not in kinds
+
+
+class TestTrafficFaultValidation:
+    def test_loss_burst_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration must be positive"):
+            FaultEvent(1.0, "loss_burst", (-2.0, 0.5))
+
+    def test_loss_burst_rejects_probability_out_of_range(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultEvent(1.0, "loss_burst", (1.0, 1.5))
+
+    def test_delay_spike_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultEvent(1.0, "delay_spike", (1.0, -0.1))
+
+    def test_valid_traffic_faults_accepted(self):
+        FaultEvent(1.0, "loss_burst", (2.0, 0.0))
+        FaultEvent(1.0, "loss_burst", (2.0, 1.0))
+        FaultEvent(1.0, "delay_spike", (0.5, 0.0))

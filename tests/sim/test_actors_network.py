@@ -279,3 +279,138 @@ def test_deterministic_given_seed():
 
     assert run(7) == run(7)
     assert run(7) != run(8)
+
+def test_one_way_cut_blocks_single_direction():
+    sim, net = make_net()
+    a, b = net.register(Recorder("a")), net.register(Recorder("b"))
+    net.cut_oneway("a", "b")
+    a.send("b", "blocked")
+    b.send("a", "delivered")
+    sim.run()
+    assert b.received == []
+    assert len(a.received) == 1
+    assert net.drops_by_reason["link_cut"] == 1
+
+
+def test_heal_oneway_restores_direction():
+    sim, net = make_net()
+    a, b = net.register(Recorder("a")), net.register(Recorder("b"))
+    net.cut_oneway("a", "b")
+    net.heal_oneway("a", "b")
+    a.send("b", "x")
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_heal_unknown_actor_raises():
+    _, net = make_net()
+    net.register(Recorder("a"))
+    with pytest.raises(NetworkPartitionError):
+        net.heal("a", "ghost")
+    with pytest.raises(NetworkPartitionError):
+        net.heal_oneway("ghost", "a")
+    with pytest.raises(NetworkPartitionError):
+        net.cut_oneway("a", "ghost")
+
+
+def test_heal_groups_restores_cross_links():
+    sim, net = make_net()
+    actors = {n: net.register(Recorder(n)) for n in ("a1", "a2", "b1", "b2")}
+    net.partition_groups(["a1", "a2"], ["b1", "b2"])
+    net.heal_groups(["a1", "a2"], ["b1", "b2"])
+    actors["a1"].send("b2", "x")
+    actors["b1"].send("a2", "y")
+    sim.run()
+    assert len(actors["b2"].received) == 1
+    assert len(actors["a2"].received) == 1
+
+
+def test_loss_burst_applies_only_inside_window():
+    sim, net = make_net(ConstantLatency(0.001), seed=5)
+    a, b = net.register(Recorder("a")), net.register(Recorder("b"))
+    net.schedule_loss_burst(start=1.0, duration=1.0, probability=0.9)
+    for i in range(50):
+        sim.schedule(0.1 + i * 0.001, a.send, "b", ("before", i))
+    for i in range(50):
+        sim.schedule(1.2 + i * 0.001, a.send, "b", ("during", i))
+    for i in range(50):
+        sim.schedule(3.0 + i * 0.001, a.send, "b", ("after", i))
+    sim.run()
+    phases = [m[0] for (_, _, m) in b.received]
+    assert phases.count("before") == 50
+    assert phases.count("after") == 50
+    assert phases.count("during") < 50
+    assert net.drops_by_reason["loss_burst"] == 50 - phases.count("during")
+
+
+def test_loss_burst_maximum_of_base_and_burst():
+    _, net = make_net(loss=0.3)
+    net.schedule_loss_burst(start=0.0, duration=5.0, probability=0.1)
+    p, reason = net._effective_loss(1.0)
+    assert p == 0.3 and reason == "loss"
+    net.schedule_loss_burst(start=0.0, duration=5.0, probability=0.8)
+    p, reason = net._effective_loss(1.0)
+    assert p == 0.8 and reason == "loss_burst"
+
+
+def test_delay_spike_adds_latency_inside_window():
+    sim, net = make_net(ConstantLatency(0.1))
+    a, b = net.register(Recorder("a")), net.register(Recorder("b"))
+    net.schedule_delay_spike(start=1.0, duration=1.0, extra=0.5)
+    sim.schedule(0.5, a.send, "b", "normal")
+    sim.schedule(1.5, a.send, "b", "slow")
+    sim.schedule(2.5, a.send, "b", "normal2")
+    sim.run()
+    times = {m: t for (t, _, m) in b.received}
+    assert times["normal"] == pytest.approx(0.6)
+    assert times["slow"] == pytest.approx(2.1)
+    assert times["normal2"] == pytest.approx(2.6)
+
+
+def test_chaos_window_validation():
+    _, net = make_net()
+    with pytest.raises(ValueError):
+        net.schedule_loss_burst(0.0, 1.0, 1.5)
+    with pytest.raises(ValueError):
+        net.schedule_loss_burst(0.0, -1.0, 0.5)
+    with pytest.raises(ValueError):
+        net.schedule_delay_spike(0.0, 1.0, -0.1)
+    with pytest.raises(ValueError):
+        net.schedule_delay_spike(0.0, 0.0, 0.1)
+
+
+def test_drop_reasons_in_stats():
+    sim, net = make_net(loss=0.5, seed=3)
+    a, b = net.register(Recorder("a")), net.register(Recorder("b"))
+    net.cut("a", "b")
+    a.send("b", "cut")
+    net.heal("a", "b")
+    a.send("ghost", "nowhere")
+    for i in range(40):
+        a.send("b", i)
+    sim.run()
+    reasons = net.stats()["drop_reasons"]
+    assert reasons["link_cut"] == 1
+    assert reasons["unknown_destination"] == 1
+    assert reasons.get("loss", 0) > 0
+    assert sum(reasons.values()) == net.messages_dropped
+
+
+def test_drop_reasons_surface_through_monitor():
+    from repro.sim import Monitor
+
+    sim = Simulator()
+    monitor = Monitor()
+    net = Network(
+        sim,
+        default_latency=ConstantLatency(0.001),
+        rng=random.Random(1),
+        monitor=monitor,
+    )
+    a, b = net.register(Recorder("a")), net.register(Recorder("b"))
+    net.cut("a", "b")
+    a.send("b", "x")
+    a.send("b", "y")
+    sim.run()
+    counters = monitor.counters_with_prefix("net_drop:")
+    assert counters == {"net_drop:link_cut": 2}
