@@ -7,7 +7,11 @@ client, and prints what happened — including the borrow-and-return dance
 behind a cross-partition ``transfer``.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace /tmp/quickstart-trace.jsonl
+      python -m repro.obs.explain /tmp/quickstart-trace.jsonl
 """
+
+import argparse
 
 from repro.core import DynaStarSystem, SystemConfig
 from repro.core.client import ScriptedWorkload
@@ -16,6 +20,16 @@ from repro.smr import Command, KeyValueApp
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a command trace and export it as JSONL to PATH",
+    )
+    # parse_known_args: the test suite runs this file under runpy with
+    # pytest's own argv still in place.
+    args, _ = parser.parse_known_args()
     # 1. An application: a multi-key key-value store.  Every key is one
     #    DynaStar state variable (and one workload-graph node).
     app = KeyValueApp({f"account{i}": 100 for i in range(8)})
@@ -28,6 +42,7 @@ def main() -> None:
             n_partitions=2,
             seed=42,
             latency=ConstantLatency(0.001),  # 1 ms one-way links
+            tracing=args.trace is not None,
         ),
     )
     print("initial placement (node -> partition):")
@@ -65,6 +80,11 @@ def main() -> None:
 
     lat = system.monitor.histogram("latency")
     print(f"latency: mean={lat.mean()*1e3:.2f} ms  p95={lat.percentile(95)*1e3:.2f} ms")
+
+    if args.trace:
+        n = system.tracer.export_jsonl(args.trace)
+        print(f"\nwrote {n} trace records to {args.trace}")
+        print(f"explain them with: python -m repro.obs.explain {args.trace}")
 
 
 if __name__ == "__main__":

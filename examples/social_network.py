@@ -67,7 +67,7 @@ def main() -> None:
 
     print("\nper-partition load (skewed by user popularity, like Table 1):")
     for name in system.partition_names:
-        tput = system.monitor.series(f"tput:{name}").total()
+        tput = system.monitor.series("tput", partition=name).total()
         nodes = len(system.servers(name)[0].owned_nodes)
         print(f"  {name}: {tput:7.0f} commands executed, {nodes:4d} users hosted")
 

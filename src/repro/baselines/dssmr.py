@@ -6,6 +6,11 @@ class.  On every multi-partition command the involved nodes migrate
 permanently to the target partition — with skewed, non-perfectly-
 partitionable workloads the same nodes ping-pong between partitions,
 which is the pathology DynaStar's workload-graph partitioning avoids.
+
+Traced runs (``SystemConfig(tracing=True)``) reuse the DynaStar span
+vocabulary: the permanent migration shows up as a ``borrow`` span
+tagged ``permanent=True`` and — since the variables never travel home —
+no ``return`` span.
 """
 
 from __future__ import annotations

@@ -43,6 +43,14 @@ class SSMRServer(PartitionServer):
         if any(node in self.in_transit for node in claimed):
             return False
 
+        # The borrow span tracks the copy exchange; the target partition
+        # owns it (one span per attempt, shared tracer) and the sources
+        # annotate it with their ship events.
+        if payload.target == self.partition and self.tracer.enabled:
+            self.tracer.begin(
+                command.uid, "borrow", self.now, disc=payload.attempt,
+                target=self.partition, attempt=payload.attempt, copies=True,
+            )
         if not state.get("sent"):
             # Exchange: copies of our variables go to every other involved
             # partition; ownership never changes.
@@ -50,6 +58,12 @@ class SSMRServer(PartitionServer):
                 (var, self.store.get(var))
                 for var in self._borrowable_vars(command, claimed)
             )
+            if self.tracer.enabled:
+                self.tracer.event_on(
+                    command.uid, "borrow", payload.attempt,
+                    "var-transfer-sent", self.now,
+                    source=self.partition, variables=len(pairs),
+                )
             for partition in payload.involved():
                 if partition != self.partition:
                     self._send_to_partition(
@@ -60,7 +74,7 @@ class SSMRServer(PartitionServer):
                     )
             state["sent"] = True
             if self._records_metrics:
-                self.monitor.series(f"objects:{self.partition}").record(
+                self._pseries("objects").record(
                     self.now, len(pairs) * (len(payload.involved()) - 1)
                 )
                 self.monitor.counter("objects_exchanged").inc(
@@ -75,11 +89,17 @@ class SSMRServer(PartitionServer):
         received = self.recv_transfers.get(key, {})
         if not needed <= set(received):
             return False
+        if payload.target == self.partition and self.tracer.enabled:
+            self.tracer.finish(
+                command.uid, "borrow", self.now, disc=payload.attempt
+            )
         if not self._gate_service():
             return False
         self._consume_service()
 
         # Execute on an overlay store: own variables plus received copies.
+        if payload.target == self.partition:
+            self._trace_execute_start(payload)
         overlay = VariableStore()
         for var in self._borrowable_vars(command, claimed):
             overlay.insert_copy(var, self.store.get(var))
@@ -94,6 +114,8 @@ class SSMRServer(PartitionServer):
             result = repr(exc)
             status = ReplyStatus.NOK
         written, removed = overlay.end_tracking()
+        if payload.target == self.partition:
+            self._trace_execute_end(payload, status)
 
         # Persist only the writes that belong to this partition.
         for var in written:
@@ -111,8 +133,8 @@ class SSMRServer(PartitionServer):
         self.multi_partition_count += 1
         self._cleanup_cmd(key)
         if self._records_metrics:
-            self.monitor.series(f"tput:{self.partition}").record(self.now)
-            self.monitor.series(f"multipart:{self.partition}").record(self.now)
+            self._pseries("tput").record(self.now)
+            self._pseries("multipart").record(self.now)
             self.monitor.counter("multi_partition_commands").inc()
         return True
 

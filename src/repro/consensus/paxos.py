@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.actors import Actor
 from repro.consensus.messages import (
     Accept,
@@ -114,6 +115,7 @@ class PaxosReplica(Actor):
         config: Optional[ReplicaConfig] = None,
         on_deliver: Optional[Callable[[Any], None]] = None,
         rng: Optional[random.Random] = None,
+        tracer: Optional[Tracer] = None,
     ):
         super().__init__(name)
         self.group = group
@@ -123,6 +125,7 @@ class PaxosReplica(Actor):
         self.config = config or ReplicaConfig()
         self.on_deliver = on_deliver
         self.rng = rng or random.Random(index)
+        self.tracer = tracer or NULL_TRACER
 
         # Ballot / leadership
         self.ballot = 0
@@ -191,6 +194,9 @@ class PaxosReplica(Actor):
         self._accept_votes.clear()
         self._batch_timer = None
         self._started = False
+        self.tracer.record(
+            "replica-recovered", self.now, group=self.group, replica=self.name
+        )
         self.start()
         self._request_recovery()
 
@@ -408,6 +414,10 @@ class PaxosReplica(Actor):
         if len(self._promises) < self._quorum():
             return
         self.phase1_done = True
+        self.tracer.record(
+            "leader-elected", self.now,
+            group=self.group, leader=self.name, ballot=self.ballot,
+        )
         self._recover_instances()
         # Values buffered while following are now this leader's duty.
         self._flush_pending()

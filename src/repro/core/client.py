@@ -26,6 +26,7 @@ from repro.core.messages import (
 )
 from repro.multicast.basecast import GroupDirectory
 from repro.multicast.messages import MulticastMessage
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.actors import Actor
 from repro.sim.monitor import Monitor
 from repro.smr.command import Command, CommandKind, Reply, ReplyStatus
@@ -97,6 +98,7 @@ class DynaStarClient(Actor):
         request_timeout: Optional[float] = None,
         backoff_factor: float = 2.0,
         max_timeout: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
     ):
         super().__init__(name)
         self.target_policy = target_policy
@@ -105,6 +107,7 @@ class DynaStarClient(Actor):
         self.workload = workload
         self.oracle_group = oracle_group
         self.monitor = monitor or Monitor()
+        self.tracer = tracer or NULL_TRACER
         self.use_cache = use_cache
         self.dispatch_via_oracle = dispatch_via_oracle
         self.history = history
@@ -155,6 +158,11 @@ class DynaStarClient(Actor):
         self._attempt = 0
         self._invoked_at = self.now
         self._was_multi = False
+        if self.tracer.enabled:
+            self.tracer.start_trace(
+                command.uid, self.now, client=self.name, op=command.op,
+                kind=command.kind.name.lower(),
+            )
         self._issue()
 
     # -- request timeouts -----------------------------------------------------
@@ -179,6 +187,10 @@ class DynaStarClient(Actor):
             return
         self.timeouts += 1
         self.monitor.counter("client_timeouts").inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                self._current.uid, "timeout", self.now, attempt=self._attempt
+            )
         self._attempt += 1
         if self._attempt >= self.max_attempts:
             self._complete(ReplyStatus.NOK, "timed out")
@@ -190,6 +202,12 @@ class DynaStarClient(Actor):
     def _issue(self) -> None:
         self._arm_timeout()
         command = self._current
+        submit = None
+        if self.tracer.enabled:
+            submit = self.tracer.begin(
+                command.uid, "client-submit", self.now, disc=self._attempt,
+                attempt=self._attempt,
+            )
         if (
             command.kind != CommandKind.ACCESS
             or not self.use_cache
@@ -199,6 +217,8 @@ class DynaStarClient(Actor):
             return
         nodes = self.app.nodes_of(command)
         if all(node in self.cache for node in nodes):
+            if submit is not None:
+                submit.event("cache-hit", self.now)
             locations = tuple(
                 sorted(((n, self.cache[n]) for n in nodes), key=lambda kv: repr(kv[0]))
             )
@@ -208,6 +228,14 @@ class DynaStarClient(Actor):
 
     def _query_oracle(self) -> None:
         command = self._current
+        if self.tracer.enabled:
+            self.tracer.begin(
+                command.uid, "oracle-lookup", self.now, disc=self._attempt,
+                parent=self.tracer.find(
+                    command.uid, "client-submit", self._attempt
+                ),
+                attempt=self._attempt,
+            )
         query = OracleQuery(
             command, self.name, self._attempt, dispatch=self.dispatch_via_oracle
         )
@@ -232,6 +260,15 @@ class DynaStarClient(Actor):
         command = self._current
         involved = tuple(sorted({p for _, p in locations}))
         self._was_multi = len(involved) > 1
+        if self.tracer.enabled:
+            self.tracer.finish(
+                command.uid, "client-submit", self.now, disc=self._attempt,
+                target=target, partitions=len(involved),
+            )
+            self.tracer.begin(
+                command.uid, "multicast-order", self.now, disc=self._attempt,
+                attempt=self._attempt, target=target, partitions=len(involved),
+            )
         if len(involved) == 1:
             payload: Any = ExecCommand(command, self.name, self._attempt)
         else:
@@ -261,13 +298,24 @@ class DynaStarClient(Actor):
             or prophecy.attempt != self._attempt
         ):
             return
+        if self.tracer.enabled:
+            self.tracer.finish(
+                command.uid, "oracle-lookup", self.now, disc=prophecy.attempt,
+                status=prophecy.status.name.lower(),
+            )
         if prophecy.status == ProphecyStatus.NOK:
             self._complete(ReplyStatus.NOK, prophecy.reason)
             return
         for node, partition in prophecy.locations:
             self.cache[node] = partition
         if command.kind != CommandKind.ACCESS or self.dispatch_via_oracle:
-            return  # the oracle dispatched; wait for the server reply
+            # The oracle dispatched; the client's submit phase ends here.
+            if self.tracer.enabled:
+                self.tracer.finish(
+                    command.uid, "client-submit", self.now,
+                    disc=prophecy.attempt, via_oracle=True,
+                )
+            return
         self._dispatch(prophecy.locations, prophecy.target)
 
     def _on_reply(self, reply: Reply) -> None:
@@ -281,6 +329,15 @@ class DynaStarClient(Actor):
                 return
             self.retries += 1
             self.monitor.counter("client_retries").inc()
+            if self.tracer.enabled:
+                self.tracer.finish(
+                    command.uid, "reply", self.now, disc=reply.attempt,
+                    status="retry",
+                )
+                self.tracer.event(
+                    command.uid, "retry", self.now,
+                    attempt=reply.attempt, partition=reply.partition,
+                )
             self._attempt += 1
             if self._attempt >= self.max_attempts:
                 self._complete(ReplyStatus.NOK, "too many retries")
@@ -293,6 +350,11 @@ class DynaStarClient(Actor):
         # OK/NOK is accepted from *any* attempt: a late reply to a
         # timed-out attempt still carries the command's actual outcome
         # (servers answer retransmissions from their result cache).
+        if self.tracer.enabled:
+            self.tracer.finish(
+                command.uid, "reply", self.now, disc=reply.attempt,
+                status=reply.status.name.lower(),
+            )
         self._complete(reply.status, reply.result)
 
     def _complete(self, status: ReplyStatus, result: Any) -> None:
@@ -300,6 +362,12 @@ class DynaStarClient(Actor):
         command = self._current
         latency = self.now - self._invoked_at
         self._current = None
+        if self.tracer.enabled:
+            self.tracer.finish_trace(
+                command.uid, self.now,
+                status=status.name.lower(), latency=latency,
+                attempts=self._attempt + 1, multi=self._was_multi,
+            )
         self.results[command.uid] = (status, result)
         if status == ReplyStatus.OK:
             self.completed += 1

@@ -147,6 +147,11 @@ class OracleReplica(MulticastReplica):
         if self._records_metrics:
             self.monitor.series("oracle_queries").record(self.now)
             self.monitor.counter("oracle_queries_total").inc()
+            if self.tracer.enabled:
+                self.tracer.event_on(
+                    query.command.uid, "oracle-lookup", query.attempt,
+                    "oracle-processed", self.now, oracle=self.name,
+                )
         command = query.command
         if command.kind == CommandKind.CREATE:
             self._handle_create_query(query)
@@ -460,6 +465,17 @@ class OracleReplica(MulticastReplica):
     def _amcast_ordered(self, dests, payload, uid: str) -> None:
         """a-mcast with a deterministic uid so that every oracle replica
         can issue the same multicast and it is delivered once."""
+        command = getattr(payload, "command", None)
+        attempt = getattr(payload, "attempt", None)
+        if command is not None and attempt is not None and self.tracer.enabled:
+            # The oracle forwards the command itself (dispatch mode and
+            # create/delete): the ordering stage starts here rather than
+            # at the client.  Get-or-create: both replicas multicast, one
+            # span results.
+            self.tracer.begin(
+                command.uid, "multicast-order", self.now, disc=attempt,
+                via_oracle=True, attempt=attempt,
+            )
         message = MulticastMessage(
             uid=uid, dests=tuple(sorted(set(dests))), payload=payload
         )

@@ -123,6 +123,10 @@ class PartitionServer(MulticastReplica):
         self.executed_count = 0
         self.multi_partition_count = 0
 
+        # Labeled per-partition series, resolved once — the label-suffix
+        # rendering is too costly for the per-command hot path.
+        self._partition_series: dict[str, object] = {}
+
     # -- bootstrap -----------------------------------------------------------
 
     def preload(self, variables: dict, nodes: set, plan: dict) -> None:
@@ -209,8 +213,43 @@ class PartitionServer(MulticastReplica):
     # -- a-delivery --------------------------------------------------------------
 
     def adeliver(self, msg: MulticastMessage) -> None:
+        self._trace_adeliver(msg.payload)
         self.queue.append(msg.payload)
         self._pump()
+
+    def _pseries(self, name: str):
+        """This partition's labeled series for ``name``, cached."""
+        series = self._partition_series.get(name)
+        if series is None:
+            series = self.monitor.series(name, partition=self.partition)
+            self._partition_series[name] = series
+        return series
+
+    def _trace_adeliver(self, payload: Any) -> None:
+        """A-delivery at the *executing* partition ends ``multicast-order``
+        and opens ``queue`` (time spent waiting in the execution queue
+        plus the service gate).  Source partitions of a multi-partition
+        command a-deliver too but must not close the span — the command
+        has not reached its target yet from the client's point of view."""
+        if not self.tracer.enabled:
+            return
+        if isinstance(payload, (ExecCommand, GlobalCommand)):
+            executing = getattr(payload, "target", self.partition) == self.partition
+        elif isinstance(payload, (CreateVar, DeleteVar)):
+            executing = payload.partition == self.partition
+        else:
+            return
+        if not executing:
+            return
+        uid = payload.command.uid
+        self.tracer.finish(
+            uid, "multicast-order", self.now, disc=payload.attempt,
+            partition=self.partition,
+        )
+        self.tracer.begin(
+            uid, "queue", self.now, disc=payload.attempt,
+            partition=self.partition, attempt=payload.attempt,
+        )
 
     def on_app_message(self, sender: str, message: Any) -> None:
         if isinstance(message, ReliableMsg):
@@ -277,6 +316,11 @@ class PartitionServer(MulticastReplica):
             return True
         nodes = self.app.nodes_of(command)
         if any(node not in self.owned_nodes for node in nodes):
+            if self.tracer.enabled:
+                self.tracer.finish(
+                    command.uid, "queue", self.now, disc=payload.attempt,
+                    status="retry",
+                )
             self._reply(payload, ReplyStatus.RETRY)
             return True
         if any(node in self.in_transit for node in nodes):
@@ -289,13 +333,37 @@ class PartitionServer(MulticastReplica):
 
     def _execute_and_reply(self, payload, record_hint_nodes=()) -> None:
         command = payload.command
+        self._trace_execute_start(payload)
         result, status, _, _ = self._tracked_execute(command)
+        self._trace_execute_end(payload, status)
         self._cache_exec_result(payload, status, result, record_hint_nodes)
         self._reply(payload, status, result)
         self.executed_count += 1
         self._record_hint(record_hint_nodes)
         if self._records_metrics:
-            self.monitor.series(f"tput:{self.partition}").record(self.now)
+            self._pseries("tput").record(self.now)
+
+    def _trace_execute_start(self, payload) -> None:
+        """Close ``queue`` and open ``execute``.  Execution is atomic on
+        the virtual clock (the service-time cost shows up as queue wait
+        via the service gate), so the execute span is zero-duration with
+        the modeled service time as a tag."""
+        if not self.tracer.enabled:
+            return
+        uid = payload.command.uid
+        self.tracer.finish(uid, "queue", self.now, disc=payload.attempt)
+        self.tracer.begin(
+            uid, "execute", self.now, disc=payload.attempt,
+            partition=self.partition, service_time=self.service_time,
+        )
+
+    def _trace_execute_end(self, payload, status) -> None:
+        if not self.tracer.enabled:
+            return
+        self.tracer.finish(
+            payload.command.uid, "execute", self.now, disc=payload.attempt,
+            status=status.name.lower(),
+        )
 
     # -- exactly-once result cache ---------------------------------------------------
 
@@ -314,6 +382,11 @@ class PartitionServer(MulticastReplica):
         if cached is None:
             return False
         status, result, _attempt = cached
+        if self.tracer.enabled:
+            self.tracer.finish(
+                payload.command.uid, "queue", self.now, disc=payload.attempt,
+                status="cached",
+            )
         self._reply(payload, status, result)
         if self._records_metrics:
             self.monitor.counter("dedup_replies").inc()
@@ -412,6 +485,12 @@ class PartitionServer(MulticastReplica):
         key = (command.uid, payload.attempt)
         needed = {p for p in payload.involved() if p != self.partition}
 
+        if self.tracer.enabled:
+            self.tracer.begin(
+                command.uid, "borrow", self.now, disc=payload.attempt,
+                target=self.partition, sources=len(needed),
+                attempt=payload.attempt,
+            )
         if self.transfer_failures.get(key):
             # Some source is stale; abort and bounce whatever arrived.
             self._abort_global(payload, notify=True)
@@ -419,6 +498,12 @@ class PartitionServer(MulticastReplica):
         received = self.recv_transfers.get(key, {})
         if not needed <= set(received):
             return False  # still gathering
+        # Gather complete: service-gate wait from here on belongs to the
+        # still-open queue span, not the borrow.
+        if self.tracer.enabled:
+            self.tracer.finish(
+                command.uid, "borrow", self.now, disc=payload.attempt
+            )
         if not self._gate_service():
             return False
         self._consume_service()
@@ -430,7 +515,9 @@ class PartitionServer(MulticastReplica):
                 self.store.insert_copy(var, value)
                 self._index_var(var)
                 borrowed.append(var)
+        self._trace_execute_start(payload)
         result, status, written, _removed = self._tracked_execute(command)
+        self._trace_execute_end(payload, status)
         nodes = {n for n, _ in payload.locations}
         self._cache_exec_result(payload, status, result, nodes)
 
@@ -450,6 +537,12 @@ class PartitionServer(MulticastReplica):
                 )
         returned_objects = 0
         for home, pairs in returns.items():
+            if self.tracer.enabled:
+                self.tracer.begin(
+                    command.uid, "return", self.now,
+                    disc=(payload.attempt, home),
+                    target=self.partition, home=home, variables=len(pairs),
+                )
             self._send_to_partition(
                 home,
                 VarReturn(
@@ -472,12 +565,12 @@ class PartitionServer(MulticastReplica):
         self._record_hint(nodes)
         self._cleanup_cmd(key)
         if self._records_metrics:
-            self.monitor.series(f"tput:{self.partition}").record(self.now)
-            self.monitor.series(f"multipart:{self.partition}").record(self.now)
+            self._pseries("tput").record(self.now)
+            self._pseries("multipart").record(self.now)
             self.monitor.counter("multi_partition_commands").inc()
             exchanged = sum(len(p) for p in received.values()) + returned_objects
             self.monitor.counter("objects_exchanged").inc(exchanged)
-            self.monitor.series(f"objects:{self.partition}").record(
+            self._pseries("objects").record(
                 self.now, exchanged
             )
         return True
@@ -493,6 +586,13 @@ class PartitionServer(MulticastReplica):
             for var in self._borrowable_vars(command, claimed):
                 pairs.append((var, self.store.take(var)))
                 self._unindex_var(var)
+            # Annotate the target-owned borrow span, if it is open yet.
+            if self.tracer.enabled:
+                self.tracer.event_on(
+                    command.uid, "borrow", payload.attempt,
+                    "var-transfer-sent", self.now,
+                    source=self.partition, variables=len(pairs),
+                )
             self._send_to_partition(
                 payload.target,
                 VarTransfer(
@@ -502,7 +602,7 @@ class PartitionServer(MulticastReplica):
             )
             state["sent"] = True
             if self._records_metrics:
-                self.monitor.series(f"objects:{self.partition}").record(
+                self._pseries("objects").record(
                     self.now, len(pairs)
                 )
 
@@ -514,6 +614,11 @@ class PartitionServer(MulticastReplica):
         for var, value in returned:
             self.store.insert_copy(var, value)
             self._index_var(var)
+        if self.tracer.enabled:
+            self.tracer.finish(
+                command.uid, "return", self.now,
+                disc=(payload.attempt, self.partition), home=self.partition,
+            )
         self._cleanup_cmd(key)
         return True
 
@@ -532,6 +637,12 @@ class PartitionServer(MulticastReplica):
                 self._unindex_var(var)
             self.owned_nodes.discard(node)
             self.last_plan[node] = payload.target
+        if self.tracer.enabled:
+            self.tracer.event_on(
+                payload.command.uid, "borrow", payload.attempt,
+                "var-transfer-sent", self.now,
+                source=self.partition, variables=len(pairs), permanent=True,
+            )
         self._send_to_partition(
             payload.target,
             VarTransfer(
@@ -544,7 +655,7 @@ class PartitionServer(MulticastReplica):
             uid=f"vt:{payload.command.uid}:{payload.attempt}:{self.partition}",
         )
         if self._records_metrics:
-            self.monitor.series(f"objects:{self.partition}").record(
+            self._pseries("objects").record(
                 self.now, len(pairs)
             )
             self.monitor.counter("objects_exchanged").inc(len(pairs))
@@ -554,12 +665,22 @@ class PartitionServer(MulticastReplica):
         command = payload.command
         key = (command.uid, payload.attempt)
         needed = {p for p in payload.involved() if p != self.partition}
+        if self.tracer.enabled:
+            self.tracer.begin(
+                command.uid, "borrow", self.now, disc=payload.attempt,
+                target=self.partition, sources=len(needed),
+                attempt=payload.attempt, permanent=True,
+            )
         if self.transfer_failures.get(key):
             self._abort_global(payload, notify=True)
             return True
         received = self.recv_transfers.get(key, {})
         if not needed <= set(received):
             return False
+        if self.tracer.enabled:
+            self.tracer.finish(
+                command.uid, "borrow", self.now, disc=payload.attempt
+            )
         if not self._gate_service():
             return False
         self._consume_service()
@@ -576,7 +697,7 @@ class PartitionServer(MulticastReplica):
         self.multi_partition_count += 1
         self._cleanup_cmd(key)
         if self._records_metrics:
-            self.monitor.series(f"multipart:{self.partition}").record(self.now)
+            self._pseries("multipart").record(self.now)
             self.monitor.counter("multi_partition_commands").inc()
         return True
 
@@ -584,6 +705,18 @@ class PartitionServer(MulticastReplica):
         """This partition cannot honor the command's location map: tell
         the client to retry and unwind the gather."""
         key = (payload.command.uid, payload.attempt)
+        uid = payload.command.uid
+        if self.tracer.enabled:
+            self.tracer.finish(
+                uid, "borrow", self.now, disc=payload.attempt, aborted=True
+            )
+            self.tracer.finish(
+                uid, "queue", self.now, disc=payload.attempt, status="retry"
+            )
+            self.tracer.event(
+                uid, "abort", self.now,
+                partition=self.partition, attempt=payload.attempt,
+            )
         self._reply(payload, ReplyStatus.RETRY)
         if self._records_metrics:
             self.monitor.counter("retries_sent").inc()
@@ -724,7 +857,7 @@ class PartitionServer(MulticastReplica):
                     moved_out_objects += len(pairs)
         if self._records_metrics:
             self.monitor.counter("plan_objects_moved").inc(moved_out_objects)
-            self.monitor.series(f"objects:{self.partition}").record(
+            self._pseries("objects").record(
                 self.now, moved_out_objects
             )
         return True
@@ -809,6 +942,14 @@ class PartitionServer(MulticastReplica):
     # -- plumbing ----------------------------------------------------------------------------------------
 
     def _reply(self, payload, status: ReplyStatus, result: Any = None) -> None:
+        # Every replica replies (the client dedups); get-or-create means
+        # the first replica to send stamps the span's start, and the
+        # client closes it on receipt.
+        if self.tracer.enabled:
+            self.tracer.begin(
+                payload.command.uid, "reply", self.now, disc=payload.attempt,
+                partition=self.partition, attempt=payload.attempt,
+            )
         self.send(
             payload.client,
             Reply(

@@ -28,6 +28,7 @@ from repro.core.client import DynaStarClient, Workload
 from repro.core.oracle import OracleReplica
 from repro.core.server import PartitionServer
 from repro.multicast.basecast import GroupDirectory
+from repro.obs.trace import Tracer
 from repro.partitioning.graph import Partitioning
 from repro.sim.events import Simulator
 from repro.sim.latency import LatencyModel, lan_default
@@ -77,6 +78,10 @@ class SystemConfig:
     #: Workload-graph weight decay applied after each plan computation
     #: (1.0 = never forget; smaller adapts faster to workload shifts).
     graph_decay: float = 0.5
+    #: Record a causal span tree per command (see ``repro.obs``).  Off by
+    #: default: the disabled tracer's early-return keeps the overhead
+    #: within noise of an untraced run.
+    tracing: bool = False
     replica: ReplicaConfig = field(default_factory=ReplicaConfig)
 
 
@@ -97,6 +102,9 @@ class DynaStarSystem:
             raise ValueError(f"unknown mode {cfg.mode!r}")
 
         self.seeds = SeedSequenceFactory(cfg.seed)
+        #: One tracer shared by every actor; spans opened on one actor
+        #: are closed by another (cross-actor protocol stages).
+        self.tracer = Tracer(enabled=cfg.tracing)
         self.sim = Simulator()
         self.net = Network(
             self.sim,
@@ -130,6 +138,7 @@ class DynaStarSystem:
         def oracle_factory(**kwargs):
             kwargs.pop("on_deliver", None)
             kwargs.pop("on_adeliver", None)
+            kwargs.setdefault("tracer", self.tracer)
             return OracleReplica(
                 app=self.app,
                 partition_names=self.partition_names,
@@ -163,6 +172,9 @@ class DynaStarSystem:
         def factory(**kwargs):
             kwargs.pop("on_deliver", None)
             kwargs.pop("on_adeliver", None)
+            # Injected here (not in _make_server) so baseline subclasses
+            # inherit tracing without repeating the wiring.
+            kwargs.setdefault("tracer", system.tracer)
             return system._make_server(**kwargs)
 
         return factory
@@ -265,6 +277,7 @@ class DynaStarSystem:
             ),
             backoff_factor=cfg.client_backoff,
             max_timeout=cfg.client_timeout_cap,
+            tracer=self.tracer,
         )
         self.net.register(client)
         self.clients.append(client)

@@ -30,11 +30,13 @@ from repro.workloads.social import CelebrityEvent, ChirperWorkload
 from repro.workloads.tpcc import TPCCConfig
 
 
-def _merge_partition_series(system, prefix: str) -> list:
-    """Sum the per-partition TimeSeries ``prefix:pX`` into one series."""
+def _merge_partition_series(system, name: str) -> list:
+    """Sum the per-partition labeled TimeSeries ``name{partition=pX}``
+    into one series."""
     merged: dict[float, float] = {}
-    for name in system.partition_names:
-        for t, v in system.monitor.series(f"{prefix}:{name}").buckets():
+    for partition in system.partition_names:
+        series = system.monitor.series(name, partition=partition)
+        for t, v in series.buckets():
             merged[t] = merged.get(t, 0.0) + v
     return sorted(merged.items())
 
@@ -337,15 +339,17 @@ def table1_partition_load(
             {
                 "partition": name,
                 "tput": steady_rate(
-                    system.monitor.series(f"tput:{name}").buckets(), warmup, duration
+                    system.monitor.series("tput", partition=name).buckets(),
+                    warmup,
+                    duration,
                 ),
                 "multipart_per_sec": steady_rate(
-                    system.monitor.series(f"multipart:{name}").buckets(),
+                    system.monitor.series("multipart", partition=name).buckets(),
                     warmup,
                     duration,
                 ),
                 "objects_per_sec": steady_rate(
-                    system.monitor.series(f"objects:{name}").buckets(),
+                    system.monitor.series("objects", partition=name).buckets(),
                     warmup,
                     duration,
                 ),

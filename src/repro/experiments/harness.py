@@ -46,6 +46,9 @@ class RunResult:
     throughput_series: list = field(default_factory=list)
     system: object = None
     workload: object = None
+    #: Per-stage latency breakdown (``repro.obs.analyze.stage_breakdown``
+    #: output) — populated only when the system ran with tracing enabled.
+    stage_breakdown: Optional[dict] = None
 
 
 def steady_rate(series: list, warmup: float, duration: float) -> float:
@@ -73,6 +76,12 @@ def run_clients(
     monitor = system.monitor
     series = monitor.series("completed").buckets()
     latency = monitor.histogram("latency")
+    breakdown = None
+    tracer = getattr(system, "tracer", None)
+    if tracer is not None and tracer.enabled and tracer.spans:
+        from repro.obs.analyze import TraceSet, stage_breakdown
+
+        breakdown = stage_breakdown(TraceSet.from_tracer(tracer))
     return RunResult(
         duration=duration,
         warmup=warmup,
@@ -85,6 +94,7 @@ def run_clients(
         throughput_series=series,
         system=system,
         workload=workload,
+        stage_breakdown=breakdown,
     )
 
 

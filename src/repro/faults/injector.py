@@ -3,9 +3,11 @@
 The injector schedules every fault on the system's event heap at arm
 time, so the faults interleave deterministically with protocol traffic
 on the virtual clock.  Each applied fault is appended to
-:attr:`ChaosInjector.applied` and counted under a ``fault:<kind>``
-monitor counter — the applied log is the ground truth for replay
-determinism tests (same seed, same schedule ⇒ identical logs).
+:attr:`ChaosInjector.applied`, counted under the labeled ``fault``
+monitor counter (``kind=<kind>``), and — when the system traces —
+recorded as a global tracer event so chaos runs are explainable.  The
+applied log is the ground truth for replay determinism tests (same
+seed, same schedule ⇒ identical logs).
 
 ``crash_leader`` is resolved at fire time (whichever replica leads the
 group then); the matching ``recover_leader`` recovers exactly the
@@ -17,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.obs.trace import NULL_TRACER
 from repro.sim.monitor import Monitor
 
 
@@ -32,6 +35,7 @@ class ChaosInjector:
         self.system = system
         self.schedule = schedule
         self.monitor = monitor or getattr(system, "monitor", None) or Monitor()
+        self.tracer = getattr(system, "tracer", None) or NULL_TRACER
         #: (virtual_time, kind, args) triples in application order.
         self.applied: list[tuple] = []
         self._crashed_leaders: dict[str, list] = {}
@@ -52,7 +56,11 @@ class ChaosInjector:
             handler = getattr(self, f"_do_{event.kind}")
             handler(*event.args)
             self.applied.append((self.system.sim.now, event.kind, event.args))
-            self.monitor.counter(f"fault:{event.kind}").inc()
+            self.monitor.counter("fault", kind=event.kind).inc()
+            self.tracer.record(
+                "fault", self.system.sim.now,
+                kind=event.kind, args=list(event.args),
+            )
 
         return apply
 

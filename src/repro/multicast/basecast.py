@@ -114,9 +114,30 @@ class MulticastReplica(PaxosReplica):
         entry = _Pending(message=msg, local_ts=self.clock)
         entry.ts_from[self.group] = self.clock
         self.pending_msgs[msg.uid] = entry
+        self._trace_ordered(msg, self.clock)
         if not msg.is_single_group:
             self._send_ts(entry)
         self._try_adeliver()
+
+    def _trace_ordered(self, msg: MulticastMessage, ts: int) -> None:
+        """Stamp an "ordered" event on the command's in-flight span when
+        its OrderEvent clears this group's log (one replica per group
+        records, like metrics).  Command payloads annotate their
+        ``multicast-order`` span; oracle queries their ``oracle-lookup``
+        span.  ``event_on`` is a no-op when the span is not open."""
+        if self.index != 0 or not self.tracer.enabled:
+            return
+        payload = msg.payload
+        command = getattr(payload, "command", None)
+        attempt = getattr(payload, "attempt", None)
+        if command is None or attempt is None:
+            return
+        # OracleQuery is the only traced payload with a ``dispatch`` flag.
+        span = "oracle-lookup" if hasattr(payload, "dispatch") else "multicast-order"
+        self.tracer.event_on(
+            command.uid, span, attempt, "ordered", self.now,
+            group=self.group, local_ts=ts,
+        )
 
     def _on_ts_event(self, event: TsEvent) -> None:
         entry = self.pending_msgs.get(event.msg_uid)

@@ -1,0 +1,29 @@
+"""Observability: command tracing, trace analysis, latency explainer.
+
+``repro.obs.trace``    — :class:`Tracer` / :class:`Span`, JSONL export.
+``repro.obs.analyze``  — span-tree assembly, integrity checks, per-stage
+                         latency breakdowns, critical-path attribution.
+``repro.obs.explain``  — ``python -m repro.obs.explain TRACE.jsonl``.
+"""
+
+from repro.obs.trace import NULL_TRACER, ROOT_SPAN, Span, Tracer, load_jsonl
+from repro.obs.analyze import (
+    StageStats,
+    TraceSet,
+    check_integrity,
+    critical_path,
+    stage_breakdown,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "ROOT_SPAN",
+    "Span",
+    "Tracer",
+    "load_jsonl",
+    "StageStats",
+    "TraceSet",
+    "check_integrity",
+    "critical_path",
+    "stage_breakdown",
+]

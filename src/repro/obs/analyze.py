@@ -1,0 +1,293 @@
+"""Turn raw span logs into answers: where does command latency go?
+
+Three views over a set of traces:
+
+* **Stage durations** — for each span name, count/mean/p50/p95/p99 of
+  the span's own duration.  Spans overlap (a ``multicast-order`` span
+  contains the ordering protocol's queueing), so these do *not* sum to
+  the end-to-end latency; they answer "how long does this stage take
+  when it runs".
+* **Critical-path attribution** — each trace's root interval is cut at
+  every span boundary and each resulting segment is charged to exactly
+  one span (the most specific one covering it).  Attributed time sums
+  *exactly* to the end-to-end latency, so a p50/p95 table over these
+  shares answers "which stage is the bottleneck".  Time covered by no
+  stage span is charged to :data:`UNTRACED`.
+* **Slowest-N** — the worst traces by end-to-end latency, with their
+  per-stage attribution, for drilling into outliers.
+
+The "most specific covering span" rule: among spans covering a segment,
+pick the one with the latest start; break ties by tree depth (deeper
+wins), then by span id.  A child always starts at or after its parent,
+so this charges time to the innermost active stage — the same intuition
+as flame-graph leaf attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.obs.trace import ROOT_SPAN, Span, load_jsonl
+
+#: Pseudo-stage charged with root-interval time no stage span covers.
+UNTRACED = "(untraced)"
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (matches ``Histogram.percentile``)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class StageStats:
+    """Summary statistics for one stage over a set of traces."""
+
+    name: str
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        return _percentile(self.samples, q)
+
+    def summary(self) -> dict:
+        return {
+            "stage": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "total": self.total,
+        }
+
+
+class TraceSet:
+    """All spans of a run, indexed by trace, with per-trace root lookup."""
+
+    def __init__(self, spans: Sequence[Span], events: Sequence[dict] = ()):
+        self.spans = list(spans)
+        self.events = list(events)
+        self.by_trace: dict[str, list[Span]] = {}
+        for span in self.spans:
+            self.by_trace.setdefault(span.trace_id, []).append(span)
+
+    @classmethod
+    def from_jsonl(cls, source) -> "TraceSet":
+        spans, events = load_jsonl(source)
+        return cls(spans, events)
+
+    @classmethod
+    def from_tracer(cls, tracer) -> "TraceSet":
+        return cls(list(tracer.spans), list(tracer.records))
+
+    def root(self, trace_id: str) -> Optional[Span]:
+        for span in self.by_trace.get(trace_id, ()):
+            if span.name == ROOT_SPAN:
+                return span
+        return None
+
+    def complete_traces(self) -> list[str]:
+        """Trace ids whose root span is finished."""
+        out = []
+        for trace_id in self.by_trace:
+            root = self.root(trace_id)
+            if root is not None and root.finished:
+                out.append(trace_id)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.by_trace)
+
+
+# -- integrity ---------------------------------------------------------------
+
+
+def check_integrity(traces: TraceSet) -> list[str]:
+    """Structural invariants every completed trace must satisfy.
+
+    Returns a list of human-readable violations (empty = all good):
+    exactly one root span per trace; every non-root span's parent exists
+    in the same trace (no orphans); every finished span has ``end >=
+    start``; every finished child lies within ``[root.start, root.end]``.
+    """
+    problems: list[str] = []
+    for trace_id, spans in sorted(traces.by_trace.items()):
+        roots = [s for s in spans if s.name == ROOT_SPAN]
+        if len(roots) != 1:
+            problems.append(f"{trace_id}: {len(roots)} root spans (want 1)")
+            continue
+        root = roots[0]
+        ids = {s.span_id for s in spans}
+        for span in spans:
+            if span is not root and span.parent_id not in ids:
+                problems.append(
+                    f"{trace_id}: span {span.name!r} has orphan parent "
+                    f"{span.parent_id!r}"
+                )
+            if span.finished and span.end < span.start:
+                problems.append(
+                    f"{trace_id}: span {span.name!r} ends before it starts "
+                    f"({span.end} < {span.start})"
+                )
+        if not root.finished:
+            continue
+        for span in spans:
+            if span is root or not span.finished:
+                continue
+            if span.start < root.start or span.end > root.end:
+                problems.append(
+                    f"{trace_id}: span {span.name!r} "
+                    f"[{span.start}, {span.end}] escapes root "
+                    f"[{root.start}, {root.end}]"
+                )
+    return problems
+
+
+# -- critical path -----------------------------------------------------------
+
+
+def _depths(spans: list[Span]) -> dict[int, int]:
+    by_id = {s.span_id: s for s in spans}
+    depths: dict[int, int] = {}
+
+    def depth(span: Span) -> int:
+        if span.span_id in depths:
+            return depths[span.span_id]
+        if span.parent_id is None or span.parent_id not in by_id:
+            d = 0
+        else:
+            d = depth(by_id[span.parent_id]) + 1
+        depths[span.span_id] = d
+        return d
+
+    for span in spans:
+        depth(span)
+    return depths
+
+
+def critical_path(traces: TraceSet, trace_id: str) -> dict[str, float]:
+    """Charge every instant of a trace's root interval to one stage.
+
+    The root interval is segmented at all clipped span boundaries; each
+    segment goes to the most specific covering stage span (latest start,
+    then deepest, then largest id).  The returned per-stage totals sum
+    exactly to the root duration; uncovered time is :data:`UNTRACED`.
+    """
+    spans = traces.by_trace.get(trace_id, [])
+    root = traces.root(trace_id)
+    if root is None or not root.finished:
+        return {}
+    lo, hi = root.start, root.end
+    if hi <= lo:
+        return {}
+
+    depths = _depths(spans)
+    # Stage spans, clipped to the root interval; unfinished spans were
+    # force-closed at trace completion so in practice all are finished.
+    clipped = []
+    for span in spans:
+        if span is root or not span.finished:
+            continue
+        start = max(span.start, lo)
+        end = min(span.end, hi)
+        if end > start:
+            clipped.append((start, end, span))
+
+    cuts = sorted({lo, hi, *(c[0] for c in clipped), *(c[1] for c in clipped)})
+    shares: dict[str, float] = {}
+    for seg_lo, seg_hi in zip(cuts, cuts[1:]):
+        covering = [c for c in clipped if c[0] <= seg_lo and c[1] >= seg_hi]
+        if covering:
+            _, _, winner = max(
+                covering,
+                key=lambda c: (c[0], depths[c[2].span_id], c[2].span_id),
+            )
+            name = winner.name
+        else:
+            name = UNTRACED
+        shares[name] = shares.get(name, 0.0) + (seg_hi - seg_lo)
+    return shares
+
+
+# -- breakdowns --------------------------------------------------------------
+
+
+def stage_breakdown(traces: TraceSet) -> dict:
+    """The full latency breakdown over all completed traces.
+
+    Returns a dict with:
+
+    * ``traces`` — number of completed traces analysed
+    * ``end_to_end`` — StageStats summary of root-span latency
+    * ``durations`` — list of per-stage duration summaries (overlapping)
+    * ``critical`` — list of per-stage critical-path attribution
+      summaries; these shares sum to end-to-end per trace
+    * ``slowest`` — trace ids ordered worst-first with latency and
+      attribution, for outlier drill-down
+    """
+    complete = traces.complete_traces()
+    e2e = StageStats("end-to-end")
+    durations: dict[str, StageStats] = {}
+    critical: dict[str, StageStats] = {}
+    slowest: list[dict] = []
+
+    for trace_id in complete:
+        root = traces.root(trace_id)
+        e2e.add(root.duration)
+        for span in traces.by_trace[trace_id]:
+            if span is root or not span.finished:
+                continue
+            durations.setdefault(span.name, StageStats(span.name)).add(
+                span.duration
+            )
+        shares = critical_path(traces, trace_id)
+        for name, share in shares.items():
+            critical.setdefault(name, StageStats(name)).add(share)
+        slowest.append(
+            {
+                "trace": trace_id,
+                "latency": root.duration,
+                "tags": dict(root.tags),
+                "critical": shares,
+            }
+        )
+
+    slowest.sort(key=lambda r: (-r["latency"], r["trace"]))
+
+    def ordered(stats: dict[str, StageStats]) -> list[dict]:
+        return [
+            stats[name].summary()
+            for name in sorted(stats, key=lambda n: -stats[n].total)
+        ]
+
+    return {
+        "traces": len(complete),
+        "end_to_end": e2e.summary(),
+        "durations": ordered(durations),
+        "critical": ordered(critical),
+        "slowest": slowest,
+    }
+
+
+def stage_names(traces: TraceSet) -> set[str]:
+    """Every distinct stage (non-root span) name present."""
+    return {s.name for s in traces.spans if s.name != ROOT_SPAN}

@@ -1,0 +1,159 @@
+"""``python -m repro.obs.explain TRACE.jsonl`` — latency breakdown report.
+
+Reads a JSONL trace export (``Tracer.export_jsonl``) and prints:
+
+* end-to-end latency statistics over all completed traces,
+* per-stage critical-path attribution (sums to end-to-end),
+* per-stage raw durations (overlapping; "how long does this stage take"),
+* the slowest-N traces with their attribution,
+* any recorded global events (faults, leader elections), summarised.
+
+Exit status is 0 on success, 1 when ``--expect-stages`` names a stage
+absent from the log, 2 when ``--check-integrity`` finds violations —
+so CI can assert instrumentation has not rotted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.obs.analyze import (
+    TraceSet,
+    check_integrity,
+    stage_breakdown,
+    stage_names,
+)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:10.4f}"
+
+
+def _print_stage_table(title: str, rows: list[dict], out) -> None:
+    print(title, file=out)
+    header = f"  {'stage':<18} {'count':>6} {'mean':>10} {'p50':>10} {'p95':>10} {'p99':>10} {'total':>10}"
+    print(header, file=out)
+    print("  " + "-" * (len(header) - 2), file=out)
+    for row in rows:
+        print(
+            f"  {row['stage']:<18} {row['count']:>6}"
+            f" {_fmt(row['mean'])} {_fmt(row['p50'])}"
+            f" {_fmt(row['p95'])} {_fmt(row['p99'])} {_fmt(row['total'])}",
+            file=out,
+        )
+    print(file=out)
+
+
+def explain(traces: TraceSet, slowest: int = 5, out=None) -> dict:
+    """Print the full report for a TraceSet; returns the breakdown."""
+    out = out or sys.stdout
+    report = stage_breakdown(traces)
+
+    e2e = report["end_to_end"]
+    print(
+        f"traces: {report['traces']} completed"
+        f" ({len(traces)} total, {len(traces.events)} global events)",
+        file=out,
+    )
+    print(
+        f"end-to-end latency: mean={e2e['mean']:.4f}"
+        f" p50={e2e['p50']:.4f} p95={e2e['p95']:.4f} p99={e2e['p99']:.4f}",
+        file=out,
+    )
+    print(file=out)
+
+    _print_stage_table(
+        "critical-path attribution (stage shares sum to end-to-end):",
+        report["critical"],
+        out,
+    )
+    _print_stage_table(
+        "stage durations (overlapping spans, not additive):",
+        report["durations"],
+        out,
+    )
+
+    if slowest > 0 and report["slowest"]:
+        print(f"slowest {min(slowest, len(report['slowest']))} traces:", file=out)
+        for row in report["slowest"][:slowest]:
+            shares = ", ".join(
+                f"{name}={share:.4f}"
+                for name, share in sorted(
+                    row["critical"].items(), key=lambda kv: -kv[1]
+                )
+            )
+            print(
+                f"  {row['trace']}: latency={row['latency']:.4f} [{shares}]",
+                file=out,
+            )
+        print(file=out)
+
+    if traces.events:
+        counts: dict[str, int] = {}
+        for event in traces.events:
+            counts[event["name"]] = counts.get(event["name"], 0) + 1
+        summary = ", ".join(
+            f"{name}×{n}" for name, n in sorted(counts.items())
+        )
+        print(f"global events: {summary}", file=out)
+
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.explain",
+        description="Per-stage latency breakdown from a JSONL trace export.",
+    )
+    parser.add_argument("trace", help="path to a Tracer.export_jsonl file")
+    parser.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        metavar="N",
+        help="show the N slowest traces (default 5, 0 to disable)",
+    )
+    parser.add_argument(
+        "--expect-stages",
+        default=None,
+        metavar="A,B,C",
+        help="comma-separated stage names that must appear in the log; "
+        "exit 1 if any is missing (CI instrumentation guard)",
+    )
+    parser.add_argument(
+        "--check-integrity",
+        action="store_true",
+        help="run span-tree integrity checks; exit 2 on violations",
+    )
+    args = parser.parse_args(argv)
+
+    traces = TraceSet.from_jsonl(args.trace)
+    explain(traces, slowest=args.slowest)
+
+    status = 0
+    if args.expect_stages:
+        expected = {s.strip() for s in args.expect_stages.split(",") if s.strip()}
+        present = stage_names(traces)
+        missing = sorted(expected - present)
+        if missing:
+            print(f"MISSING stages: {', '.join(missing)}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"all {len(expected)} expected stages present")
+
+    if args.check_integrity:
+        problems = check_integrity(traces)
+        if problems:
+            for problem in problems:
+                print(f"INTEGRITY: {problem}", file=sys.stderr)
+            status = 2
+        else:
+            print("span-tree integrity: ok")
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

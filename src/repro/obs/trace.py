@@ -1,0 +1,364 @@
+"""Causal span tracing on the virtual clock.
+
+A *trace* is the life of one command: ``trace_id`` is the command uid,
+the root span (named :data:`ROOT_SPAN`) covers invoke -> reply at the
+client, and every protocol stage the command passes through — oracle
+lookup, multicast ordering, the borrow/return variable exchange,
+execution, the reply — is a child span with virtual-clock start/end
+times.  Because the whole system is simulated in one process, a single
+:class:`Tracer` is shared by every actor: one actor can open a span and
+another can close it, which is exactly how cross-actor stages (dispatch
+-> a-delivery, reply send -> reply receipt) are measured.
+
+Design constraints, in order:
+
+* **Near-zero overhead when disabled.**  Every public method starts with
+  an ``enabled`` check and returns immediately; a disabled tracer
+  allocates nothing per call.  :data:`NULL_TRACER` is the shared
+  disabled instance used as the default everywhere.
+* **Deterministic.**  Span ids come from a per-tracer counter, times
+  from the virtual clock, and no wall-clock or object identity leaks
+  into the record, so two seeded runs of the same workload (and the
+  same chaos schedule) export byte-identical JSONL.
+* **Idempotent hand-offs.**  Stages are keyed ``(trace_id, name,
+  disc)`` where ``disc`` discriminates attempts (and, for returns, the
+  source partition).  :meth:`Tracer.begin` is get-or-create, so
+  whichever replica reaches a stage first stamps its start;
+  :meth:`Tracer.finish` closes the span once and leaves a tombstone so
+  a lagging replica re-entering the stage later cannot resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, TextIO, Union
+
+#: Name of the per-command root span.
+ROOT_SPAN = "command"
+
+_JSON_SCALARS = (bool, int, float, str, type(None))
+
+
+def _clean(value: Any) -> Any:
+    """A JSON-safe, deterministic rendering of a tag/attr value."""
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    return repr(value)
+
+
+def _clean_dict(attrs: dict) -> dict:
+    return {k: _clean(v) for k, v in attrs.items()}
+
+
+class Span:
+    """One interval of a trace: a protocol stage with start/end times.
+
+    ``end`` stays ``None`` while the span is open.  ``finish`` is
+    first-wins: replicated actors may all try to close a span and only
+    the earliest close sticks.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "end",
+        "tags",
+        "events",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: int,
+        name: str,
+        start: float,
+        parent_id: Optional[int] = None,
+        tags: Optional[dict] = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.tags = tags or {}
+        self.events: list[tuple] = []  # (t, name, attrs)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def event(self, name: str, t: float, **attrs: Any) -> None:
+        self.events.append((t, name, _clean_dict(attrs)))
+
+    def finish(self, t: float, **tags: Any) -> None:
+        if self.end is not None:
+            return
+        self.end = t
+        if tags:
+            self.tags.update(_clean_dict(tags))
+
+    def to_record(self) -> dict:
+        return {
+            "kind": "span",
+            "seq": self.span_id,
+            "trace": self.trace_id,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "tags": self.tags,
+            "events": [
+                {"t": t, "name": name, "attrs": attrs}
+                for t, name, attrs in self.events
+            ],
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Span":
+        span = cls(
+            trace_id=record["trace"],
+            span_id=record["id"],
+            name=record["name"],
+            start=record["start"],
+            parent_id=record.get("parent"),
+            tags=dict(record.get("tags", {})),
+        )
+        span.end = record.get("end")
+        span.events = [
+            (e["t"], e["name"], e.get("attrs", {}))
+            for e in record.get("events", ())
+        ]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.start:.6f}..{self.end:.6f}" if self.finished else "open"
+        return f"<Span {self.name} trace={self.trace_id} {state}>"
+
+
+class Tracer:
+    """Registry of spans and structured events for one experiment."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self.records: list[dict] = []  # global (trace-less) events
+        self._seq = 0
+        self._open: dict[tuple, Span] = {}
+        self._open_by_trace: dict[str, list[tuple]] = {}
+        self._closed: set[tuple] = set()
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def start_trace(self, trace_id: str, t: float, **tags: Any) -> Optional[Span]:
+        """Open the root span of a new trace (the command's lifetime)."""
+        return self.begin(trace_id, ROOT_SPAN, t, **tags)
+
+    def begin(
+        self,
+        trace_id: str,
+        name: str,
+        t: float,
+        disc: Any = None,
+        parent: Optional[Span] = None,
+        **tags: Any,
+    ) -> Optional[Span]:
+        """Get-or-create the open span ``(trace_id, name, disc)``.
+
+        The first caller stamps the start time; later callers get the
+        same object.  A key that was already finished is tombstoned and
+        returns ``None`` — a lagging replica reaching a completed stage
+        must not restart it.
+        """
+        if not self.enabled:
+            return None
+        key = (trace_id, name, disc)
+        span = self._open.get(key)
+        if span is not None:
+            return span
+        if key in self._closed:
+            return None
+        parent_id = parent.span_id if parent is not None else None
+        if parent_id is None and name != ROOT_SPAN:
+            root = self._open.get((trace_id, ROOT_SPAN, None))
+            if root is not None:
+                parent_id = root.span_id
+        span = Span(
+            trace_id,
+            self._next_seq(),
+            name,
+            t,
+            parent_id=parent_id,
+            tags=_clean_dict(tags),
+        )
+        self.spans.append(span)
+        self._open[key] = span
+        self._open_by_trace.setdefault(trace_id, []).append(key)
+        return span
+
+    def find(self, trace_id: str, name: str, disc: Any = None) -> Optional[Span]:
+        """The currently open span for a key, or None."""
+        if not self.enabled:
+            return None
+        return self._open.get((trace_id, name, disc))
+
+    def finish(
+        self, trace_id: str, name: str, t: float, disc: Any = None, **tags: Any
+    ) -> Optional[Span]:
+        """Close the open span for a key (no-op when there is none)."""
+        if not self.enabled:
+            return None
+        key = (trace_id, name, disc)
+        span = self._open.pop(key, None)
+        if span is None:
+            return None
+        self._closed.add(key)
+        keys = self._open_by_trace.get(trace_id)
+        if keys is not None:
+            try:
+                keys.remove(key)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        span.finish(t, **tags)
+        return span
+
+    def finish_trace(self, trace_id: str, t: float, **tags: Any) -> Optional[Span]:
+        """Close the root span — and force-close any stage span still
+        open (an abandoned attempt, a stage cut short by a fault), so a
+        completed trace never leaks open intervals."""
+        if not self.enabled:
+            return None
+        for key in list(self._open_by_trace.get(trace_id, ())):
+            _, name, disc = key
+            if name == ROOT_SPAN:
+                continue
+            self.finish(trace_id, name, t, disc=disc, unfinished=True)
+        root = self.finish(trace_id, ROOT_SPAN, t, **tags)
+        self._open_by_trace.pop(trace_id, None)
+        return root
+
+    # -- events -------------------------------------------------------------
+
+    def event_on(
+        self,
+        trace_id: str,
+        name: str,
+        disc: Any,
+        event_name: str,
+        t: float,
+        **attrs: Any,
+    ) -> bool:
+        """Attach an event to the open span for a key; True on success."""
+        if not self.enabled:
+            return False
+        span = self._open.get((trace_id, name, disc))
+        if span is None:
+            return False
+        span.event(event_name, t, **attrs)
+        return True
+
+    def event(self, trace_id: str, event_name: str, t: float, **attrs: Any) -> bool:
+        """Attach an event to the trace's root span (retries, timeouts,
+        aborts — anything that explains the command's shape)."""
+        return self.event_on(trace_id, ROOT_SPAN, None, event_name, t, **attrs)
+
+    def record(self, name: str, t: float, **attrs: Any) -> None:
+        """A global, trace-less event (injected faults, leader changes)."""
+        if not self.enabled:
+            return
+        self.records.append(
+            {
+                "kind": "event",
+                "seq": self._next_seq(),
+                "name": name,
+                "t": t,
+                "attrs": _clean_dict(attrs),
+            }
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def traces(self) -> dict[str, list[Span]]:
+        """Spans grouped by trace id, in creation order."""
+        out: dict[str, list[Span]] = {}
+        for span in self.spans:
+            out.setdefault(span.trace_id, []).append(span)
+        return out
+
+    def trace(self, trace_id: str) -> list[Span]:
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self.records.clear()
+        self._open.clear()
+        self._open_by_trace.clear()
+        self._closed.clear()
+        self._seq = 0
+
+    # -- export -------------------------------------------------------------
+
+    def to_records(self) -> list[dict]:
+        """Every span and global event as dicts, in one deterministic
+        causal order (creation sequence)."""
+        records = [span.to_record() for span in self.spans]
+        records.extend(self.records)
+        records.sort(key=lambda r: r["seq"])
+        return records
+
+    def export_jsonl(self, out: Union[str, TextIO]) -> int:
+        """Write the structured event log as JSON lines; returns the
+        number of records written.  ``out`` is a path or a file object."""
+        records = self.to_records()
+        if isinstance(out, str):
+            with open(out, "w") as fh:
+                self._write(fh, records)
+        else:
+            self._write(out, records)
+        return len(records)
+
+    @staticmethod
+    def _write(fh: TextIO, records: list[dict]) -> None:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+
+
+def load_jsonl(source: Union[str, TextIO]) -> tuple[list[Span], list[dict]]:
+    """Read an exported event log back into (spans, global events)."""
+    if isinstance(source, str):
+        with open(source) as fh:
+            lines = fh.readlines()
+    else:
+        lines = source.readlines()
+    spans: list[Span] = []
+    events: list[dict] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("kind") == "span":
+            spans.append(Span.from_record(record))
+        else:
+            events.append(record)
+    return spans, events
+
+
+#: Shared disabled tracer — the default wherever tracing is optional.
+NULL_TRACER = Tracer(enabled=False)

@@ -9,21 +9,45 @@ Four primitives, mirroring what the paper's figures plot:
   "throughput over time" style figures (Fig 2, 6, 8).
 
 A :class:`Monitor` is a named registry of these, shared by the actors of
-one experiment.
+one experiment.  Metrics take optional **labels** (Prometheus style):
+``monitor.counter("fault", kind="link_cut")`` registers an independent
+counter per label combination under one base name, replacing the old
+``f"fault:{kind}"`` string-key convention.  ``labeled_counters(name)`` /
+``labeled_series(name)`` read back all label combinations of a base
+name, and :meth:`Monitor.merge` folds one monitor into another so
+per-actor monitors can combine into an experiment-wide snapshot.
 """
 
 from __future__ import annotations
 
 import bisect
 import math
+import warnings
 from typing import Iterable, Optional
+
+
+def _label_suffix(labels: dict) -> str:
+    """Canonical ``{k=v,...}`` rendering with sorted keys, '' if empty."""
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+def _label_key(labels: dict):
+    """The key used when reading labels back: the bare value for a
+    single label, a sorted value tuple for several."""
+    if len(labels) == 1:
+        return next(iter(labels.values()))
+    return tuple(labels[k] for k in sorted(labels))
 
 
 class Counter:
     """Monotonic event counter."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[dict] = None):
         self.name = name
+        self.labels = dict(labels or {})
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
@@ -35,8 +59,9 @@ class Counter:
 class Gauge:
     """A point-in-time value."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[dict] = None):
         self.name = name
+        self.labels = dict(labels or {})
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -54,8 +79,9 @@ class Histogram:
     enough (≤ a few million samples) that exactness is affordable.
     """
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[dict] = None):
         self.name = name
+        self.labels = dict(labels or {})
         self._samples: list[float] = []
         self._sorted: Optional[list[float]] = None
 
@@ -66,6 +92,10 @@ class Histogram:
     def extend(self, values: Iterable[float]) -> None:
         self._samples.extend(values)
         self._sorted = None
+
+    # Batch-observe under the conventional name; kept as a true alias of
+    # ``extend`` so the two can never drift apart.
+    observe_many = extend
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -136,19 +166,28 @@ class TimeSeries:
     i.e. per-second rates when ``width == 1``.
     """
 
-    def __init__(self, name: str, width: float = 1.0):
+    def __init__(self, name: str, width: float = 1.0, labels: Optional[dict] = None):
         if width <= 0:
             raise ValueError("bucket width must be positive")
         self.name = name
         self.width = width
+        self.labels = dict(labels or {})
         self._buckets: dict[int, float] = {}
 
     def record(self, time: float, amount: float = 1.0) -> None:
         if time < 0:
             raise ValueError("time must be non-negative")
-        self._buckets[int(time // self.width)] = (
-            self._buckets.get(int(time // self.width), 0.0) + amount
-        )
+        index = int(time // self.width)
+        self._buckets[index] = self._buckets.get(index, 0.0) + amount
+
+    def merge_from(self, other: "TimeSeries") -> None:
+        """Add another series' buckets into this one (widths must match)."""
+        if other.width != self.width:
+            raise ValueError(
+                f"cannot merge series with widths {self.width} and {other.width}"
+            )
+        for index, total in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0.0) + total
 
     def buckets(self) -> list[tuple[float, float]]:
         """Sorted (bucket_start_time, total) pairs, gaps filled with 0."""
@@ -172,7 +211,13 @@ class TimeSeries:
 
 
 class Monitor:
-    """Registry of named metrics shared by one experiment."""
+    """Registry of named metrics shared by one experiment.
+
+    Registry keys are ``name`` plus a canonical sorted rendering of the
+    labels, so ``counter("tput", partition="P0")`` and
+    ``counter("tput", partition="P1")`` are distinct metrics sharing a
+    base name.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
@@ -180,37 +225,99 @@ class Monitor:
         self._histograms: dict[str, Histogram] = {}
         self._series: dict[str, TimeSeries] = {}
 
-    def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
+    def counter(self, name: str, **labels) -> Counter:
+        key = name + _label_suffix(labels)
+        if key not in self._counters:
+            self._counters[key] = Counter(name, labels)
+        return self._counters[key]
 
-    def gauge(self, name: str) -> Gauge:
-        if name not in self._gauges:
-            self._gauges[name] = Gauge(name)
-        return self._gauges[name]
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = name + _label_suffix(labels)
+        if key not in self._gauges:
+            self._gauges[key] = Gauge(name, labels)
+        return self._gauges[key]
 
-    def histogram(self, name: str) -> Histogram:
-        if name not in self._histograms:
-            self._histograms[name] = Histogram(name)
-        return self._histograms[name]
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = name + _label_suffix(labels)
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(name, labels)
+        return self._histograms[key]
 
-    def series(self, name: str, width: float = 1.0) -> TimeSeries:
-        if name not in self._series:
-            self._series[name] = TimeSeries(name, width)
-        return self._series[name]
+    def series(self, name: str, width: float = 1.0, **labels) -> TimeSeries:
+        key = name + _label_suffix(labels)
+        if key not in self._series:
+            self._series[key] = TimeSeries(name, width, labels)
+        return self._series[key]
 
     def counters(self) -> dict[str, int]:
-        return {name: c.value for name, c in self._counters.items()}
+        return {key: c.value for key, c in self._counters.items()}
+
+    def labeled_counters(self, name: str) -> dict:
+        """Values of every labeled counter under a base name, keyed by
+        label value (single label) or sorted label-value tuple."""
+        return {
+            _label_key(c.labels): c.value
+            for c in self._counters.values()
+            if c.name == name and c.labels
+        }
+
+    def labeled_series(self, name: str) -> dict:
+        """Every labeled series under a base name, keyed like
+        :meth:`labeled_counters`."""
+        return {
+            _label_key(s.labels): s
+            for s in self._series.values()
+            if s.name == name and s.labels
+        }
 
     def counters_with_prefix(self, prefix: str) -> dict[str, int]:
-        """Counters whose name starts with ``prefix`` (e.g. ``net_drop:``
-        for per-reason drop accounting, ``fault:`` for injected faults)."""
+        """Deprecated: counters whose registry key starts with ``prefix``.
+
+        The old ``f"fault:{kind}"`` convention this served is replaced
+        by labeled metrics — use ``labeled_counters("fault")`` instead.
+        """
+        warnings.warn(
+            "counters_with_prefix is deprecated; use labeled_counters",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return {
-            name: c.value
-            for name, c in self._counters.items()
-            if name.startswith(prefix)
+            key: c.value
+            for key, c in self._counters.items()
+            if key.startswith(prefix)
         }
+
+    def merge(self, other: "Monitor") -> "Monitor":
+        """Fold another monitor's metrics into this one and return self.
+
+        Counters and gauges add, histograms concatenate samples, series
+        add bucket totals (matching widths required).  Lets per-actor
+        monitors combine into one experiment-wide snapshot without
+        string-prefix hacks.
+        """
+        for key, counter in other._counters.items():
+            mine = self._counters.get(key)
+            if mine is None:
+                mine = self._counters.setdefault(key, Counter(counter.name, counter.labels))
+            mine.inc(counter.value)
+        for key, gauge in other._gauges.items():
+            mine = self._gauges.get(key)
+            if mine is None:
+                mine = self._gauges.setdefault(key, Gauge(gauge.name, gauge.labels))
+            mine.add(gauge.value)
+        for key, hist in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histograms.setdefault(key, Histogram(hist.name, hist.labels))
+            mine.extend(hist._samples)
+        for key, series in other._series.items():
+            mine = self._series.get(key)
+            if mine is None:
+                mine = self._series.setdefault(
+                    key, TimeSeries(series.name, series.width, series.labels)
+                )
+            mine.merge_from(series)
+        return self
 
     def snapshot(self) -> dict[str, dict]:
         """A JSON-friendly dump of everything collected so far."""

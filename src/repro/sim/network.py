@@ -49,7 +49,8 @@ class Network:
         Independent probability that any one message is silently dropped.
     monitor:
         Optional metrics registry; when given, drops are also counted
-        per reason under ``net_drop:<reason>`` counters.
+        per reason under the labeled ``net_drop`` counter
+        (``reason=<reason>``).
     """
 
     def __init__(
@@ -208,7 +209,7 @@ class Network:
         self.messages_dropped += 1
         self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
         if self.monitor is not None:
-            self.monitor.counter(f"net_drop:{reason}").inc()
+            self.monitor.counter("net_drop", reason=reason).inc()
 
     def send(self, src: str, dst: str, message: Any, size: int = 1) -> None:
         """Queue ``message`` for delivery from ``src`` to ``dst``.

@@ -43,9 +43,9 @@ class TestInjectorBasics:
         )
         ChaosInjector(system, schedule).arm()
         system.run(until=1.0)
-        counters = system.monitor.counters_with_prefix("fault:")
-        assert counters["fault:crash_acceptor"] == 2
-        assert counters["fault:recover_acceptor"] == 1
+        counters = system.monitor.labeled_counters("fault")
+        assert counters["crash_acceptor"] == 2
+        assert counters["recover_acceptor"] == 1
 
 
 class TestLeaderFaults:

@@ -1,0 +1,73 @@
+"""The explain CLI: report rendering and the CI guard exit codes."""
+
+import io
+import json
+
+from repro.obs import Tracer
+from repro.obs.explain import explain, main
+from repro.obs.analyze import TraceSet
+
+
+def write_trace(path, corrupt=False):
+    tr = Tracer()
+    for i in range(3):
+        uid = f"c:{i}"
+        tr.start_trace(uid, float(i), client="c0")
+        tr.begin(uid, "oracle-lookup", i + 0.1, disc=0)
+        tr.finish(uid, "oracle-lookup", i + 0.3, disc=0)
+        tr.begin(uid, "multicast-order", i + 0.3, disc=0)
+        tr.finish(uid, "multicast-order", i + 0.6, disc=0)
+        tr.finish_trace(uid, i + 0.8, status="ok")
+    records = tr.to_records()
+    if corrupt:
+        # point one child at a parent id that does not exist
+        for record in records:
+            if record["kind"] == "span" and record["name"] == "oracle-lookup":
+                record["parent"] = 9999
+                break
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+class TestExplainReport:
+    def test_report_shape_and_sums(self):
+        tr = Tracer()
+        tr.start_trace("c:1", 0.0)
+        tr.begin("c:1", "stage-a", 0.0)
+        tr.finish("c:1", "stage-a", 0.4)
+        tr.finish_trace("c:1", 1.0)
+        out = io.StringIO()
+        report = explain(TraceSet.from_tracer(tr), out=out)
+        assert report["traces"] == 1
+        shares = {row["stage"]: row["total"] for row in report["critical"]}
+        assert sum(shares.values()) == report["end_to_end"]["total"]
+        text = out.getvalue()
+        assert "critical-path attribution" in text
+        assert "stage durations" in text
+
+
+class TestMainExitCodes:
+    def test_clean_trace_exits_zero(self, tmp_path, capsys):
+        path = write_trace(str(tmp_path / "t.jsonl"))
+        code = main(
+            [path, "--expect-stages", "oracle-lookup,multicast-order",
+             "--check-integrity"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all 2 expected stages present" in out
+        assert "span-tree integrity: ok" in out
+
+    def test_missing_stage_exits_one(self, tmp_path, capsys):
+        path = write_trace(str(tmp_path / "t.jsonl"))
+        code = main([path, "--expect-stages", "oracle-lookup,borrow"])
+        assert code == 1
+        assert "MISSING stages: borrow" in capsys.readouterr().err
+
+    def test_integrity_violation_exits_two(self, tmp_path, capsys):
+        path = write_trace(str(tmp_path / "t.jsonl"), corrupt=True)
+        code = main([path, "--check-integrity"])
+        assert code == 2
+        assert "INTEGRITY:" in capsys.readouterr().err

@@ -1,0 +1,162 @@
+"""End-to-end tracing through a live DynaStar deployment.
+
+Runs real workloads with ``tracing=True`` and checks the resulting span
+trees: required protocol stages present, structural integrity, and
+critical-path shares that sum exactly to each command's latency.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynaStarSystem, SystemConfig
+from repro.core.client import ScriptedWorkload
+from repro.obs.analyze import (
+    TraceSet,
+    check_integrity,
+    critical_path,
+    stage_names,
+)
+from repro.sim import ConstantLatency
+from repro.smr import Command, KeyValueApp
+
+#: Stages the issue requires a multi-partition command to pass through.
+REQUIRED_STAGES = {
+    "client-submit",
+    "oracle-lookup",
+    "multicast-order",
+    "borrow",
+    "execute",
+    "return",
+    "reply",
+}
+
+
+def build_traced_system(n_keys=8, n_partitions=2, seed=42):
+    app = KeyValueApp({f"k{i}": 100 for i in range(n_keys)})
+    config = SystemConfig(
+        n_partitions=n_partitions,
+        seed=seed,
+        latency=ConstantLatency(0.001),
+        tracing=True,
+    )
+    return DynaStarSystem(app, config)
+
+
+def cross_partition_keys(system):
+    loc = system.initial_assignment
+    keys = sorted(loc)
+    key_a = keys[0]
+    key_b = next(k for k in keys if loc[k] != loc[key_a])
+    return key_a, key_b
+
+
+class TestMixedWorkloadTraces:
+    @pytest.fixture(scope="class")
+    def run(self):
+        system = build_traced_system()
+        key_a, key_b = cross_partition_keys(system)
+        commands = [
+            Command("c:1", "read", (key_a,)),
+            Command("c:2", "write", (key_a, 250)),
+            Command("c:3", "sum", (key_a, key_b)),
+            Command("c:4", "transfer", (key_a, key_b, 50)),
+            Command("c:5", "read", (key_b,)),
+        ]
+        client = system.add_client(ScriptedWorkload(commands))
+        system.run(until=10.0)
+        assert client.completed == 5 and client.failed == 0
+        return system, client
+
+    def test_all_required_stages_appear(self, run):
+        system, _ = run
+        traces = TraceSet.from_tracer(system.tracer)
+        assert REQUIRED_STAGES <= stage_names(traces)
+
+    def test_multi_partition_trace_has_borrow_and_return(self, run):
+        system, _ = run
+        traces = TraceSet.from_tracer(system.tracer)
+        names = {s.name for s in traces.by_trace["c:4"]}
+        assert {"borrow", "return", "execute", "multicast-order"} <= names
+
+    def test_every_trace_is_complete_and_sound(self, run):
+        system, client = run
+        traces = TraceSet.from_tracer(system.tracer)
+        assert check_integrity(traces) == []
+        assert set(traces.complete_traces()) == set(client.results)
+
+    def test_critical_path_sums_to_latency(self, run):
+        system, _ = run
+        traces = TraceSet.from_tracer(system.tracer)
+        for trace_id in traces.complete_traces():
+            root = traces.root(trace_id)
+            shares = critical_path(traces, trace_id)
+            assert sum(shares.values()) == pytest.approx(
+                root.duration, abs=1e-12
+            )
+
+    def test_root_tags_carry_command_metadata(self, run):
+        system, _ = run
+        traces = TraceSet.from_tracer(system.tracer)
+        root = traces.root("c:4")
+        assert root.tags["status"] == "ok"
+        assert root.tags["op"] == "transfer"
+        assert root.tags["multi"] is True
+        assert root.tags["latency"] == pytest.approx(root.duration)
+
+    def test_cache_hit_skips_oracle_lookup(self, run):
+        system, _ = run
+        traces = TraceSet.from_tracer(system.tracer)
+        # c:2 reuses the location cached by c:1 — no oracle round-trip
+        names = {s.name for s in traces.by_trace["c:2"]}
+        assert "oracle-lookup" not in names
+
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "sum", "transfer"]),
+        st.integers(0, 5),
+        st.integers(0, 5),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestSpanTreePropertyUnderMixedWorkloads:
+    @given(ops=OPS, seed=st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_integrity_holds_for_arbitrary_mixed_workloads(self, ops, seed):
+        system = build_traced_system(n_keys=6, seed=seed)
+        commands = []
+        for i, (op, a, b) in enumerate(ops):
+            ka, kb = f"k{a}", f"k{b}"
+            if op == "read":
+                args = (ka,)
+            elif op == "write":
+                args = (ka, i)
+            elif op == "sum":
+                args = (ka, kb)
+            else:
+                args = (ka, kb, 1)
+            commands.append(Command(f"c:{i}", op, args))
+        client = system.add_client(ScriptedWorkload(commands))
+        system.run(until=30.0)
+        assert client.failed == 0
+
+        traces = TraceSet.from_tracer(system.tracer)
+        assert check_integrity(traces) == []
+        for trace_id in traces.complete_traces():
+            spans = traces.by_trace[trace_id]
+            root = traces.root(trace_id)
+            # exactly one root, no orphans, monotone intervals
+            assert sum(1 for s in spans if s.name == "command") == 1
+            ids = {s.span_id for s in spans}
+            for span in spans:
+                if span is not root:
+                    assert span.parent_id in ids
+                assert span.finished and span.end >= span.start
+            shares = critical_path(traces, trace_id)
+            assert sum(shares.values()) == pytest.approx(
+                root.duration, abs=1e-12
+            )

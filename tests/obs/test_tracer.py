@@ -1,0 +1,141 @@
+"""Unit tests for the span tracer: idempotent hand-offs, tombstones,
+disabled no-ops, deterministic export."""
+
+import io
+import json
+
+from repro.obs import NULL_TRACER, ROOT_SPAN, Tracer, load_jsonl
+
+
+class TestSpanLifecycle:
+    def test_begin_is_get_or_create(self):
+        tr = Tracer()
+        a = tr.begin("t1", "stage", 1.0)
+        b = tr.begin("t1", "stage", 2.0)
+        assert a is b
+        assert a.start == 1.0  # first caller stamps the start
+
+    def test_disc_separates_attempts(self):
+        tr = Tracer()
+        first = tr.begin("t1", "stage", 1.0, disc=0)
+        second = tr.begin("t1", "stage", 2.0, disc=1)
+        assert first is not second
+
+    def test_finish_is_first_wins(self):
+        tr = Tracer()
+        span = tr.begin("t1", "stage", 1.0)
+        tr.finish("t1", "stage", 2.0, status="ok")
+        tr.finish("t1", "stage", 9.0, status="late")
+        assert span.end == 2.0
+        assert span.tags["status"] == "ok"
+
+    def test_finished_key_is_tombstoned(self):
+        tr = Tracer()
+        tr.begin("t1", "stage", 1.0)
+        tr.finish("t1", "stage", 2.0)
+        # a lagging replica re-entering the stage must not resurrect it
+        assert tr.begin("t1", "stage", 5.0) is None
+        assert len(tr.spans) == 1
+
+    def test_auto_parents_to_open_root(self):
+        tr = Tracer()
+        root = tr.start_trace("t1", 0.0)
+        child = tr.begin("t1", "stage", 1.0)
+        assert child.parent_id == root.span_id
+
+    def test_explicit_parent_wins(self):
+        tr = Tracer()
+        tr.start_trace("t1", 0.0)
+        outer = tr.begin("t1", "outer", 1.0)
+        inner = tr.begin("t1", "inner", 2.0, parent=outer)
+        assert inner.parent_id == outer.span_id
+
+    def test_finish_trace_force_closes_stragglers(self):
+        tr = Tracer()
+        tr.start_trace("t1", 0.0)
+        straggler = tr.begin("t1", "stage", 1.0, disc=0)
+        root = tr.finish_trace("t1", 5.0, status="ok")
+        assert root.end == 5.0
+        assert straggler.end == 5.0
+        assert straggler.tags.get("unfinished") is True
+
+    def test_events_attach_to_open_spans_only(self):
+        tr = Tracer()
+        tr.begin("t1", "stage", 1.0)
+        assert tr.event_on("t1", "stage", None, "ordered", 1.5, group="g0")
+        tr.finish("t1", "stage", 2.0)
+        assert not tr.event_on("t1", "stage", None, "late", 3.0)
+        (span,) = tr.spans
+        assert span.events == [(1.5, "ordered", {"group": "g0"})]
+
+    def test_non_scalar_tags_become_repr(self):
+        tr = Tracer()
+        span = tr.begin("t1", "stage", 1.0, parts=("p0", "p1"))
+        assert span.tags["parts"] == repr(("p0", "p1"))
+
+
+class TestDisabledTracer:
+    def test_every_call_is_a_noop(self):
+        tr = Tracer(enabled=False)
+        assert tr.start_trace("t1", 0.0) is None
+        assert tr.begin("t1", "stage", 1.0) is None
+        assert tr.finish("t1", "stage", 2.0) is None
+        assert tr.finish_trace("t1", 3.0) is None
+        assert not tr.event_on("t1", "stage", None, "e", 1.0)
+        tr.record("fault", 1.0, kind="cut")
+        assert tr.spans == [] and tr.records == []
+
+    def test_null_tracer_is_disabled(self):
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.spans == []
+
+
+class TestExport:
+    @staticmethod
+    def _scripted_run(tr):
+        tr.start_trace("cmd-1", 0.0, client="c0")
+        tr.begin("cmd-1", "stage-a", 0.5, disc=0)
+        tr.record("fault", 0.7, kind="cut", args=["a", "b"])
+        tr.finish("cmd-1", "stage-a", 1.0, disc=0, status="ok")
+        tr.finish_trace("cmd-1", 1.5, status="ok")
+
+    def test_two_identical_runs_export_identical_bytes(self):
+        outs = []
+        for _ in range(2):
+            tr = Tracer()
+            self._scripted_run(tr)
+            buf = io.StringIO()
+            tr.export_jsonl(buf)
+            outs.append(buf.getvalue())
+        assert outs[0] == outs[1]
+
+    def test_export_order_is_creation_order(self):
+        tr = Tracer()
+        self._scripted_run(tr)
+        buf = io.StringIO()
+        n = tr.export_jsonl(buf)
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert n == len(records) == 3
+        assert [r["seq"] for r in records] == sorted(r["seq"] for r in records)
+        assert [r["kind"] for r in records] == ["span", "span", "event"]
+
+    def test_jsonl_roundtrip(self):
+        tr = Tracer()
+        self._scripted_run(tr)
+        buf = io.StringIO()
+        tr.export_jsonl(buf)
+        buf.seek(0)
+        spans, events = load_jsonl(buf)
+        assert {s.name for s in spans} == {ROOT_SPAN, "stage-a"}
+        root = next(s for s in spans if s.name == ROOT_SPAN)
+        assert root.finished and root.tags["status"] == "ok"
+        (event,) = events
+        assert event["name"] == "fault" and event["attrs"]["kind"] == "cut"
+
+    def test_reset_clears_everything(self):
+        tr = Tracer()
+        self._scripted_run(tr)
+        tr.reset()
+        assert tr.spans == [] and tr.records == []
+        # tombstones cleared too: the old key is usable again
+        assert tr.begin("cmd-1", "stage-a", 0.0, disc=0) is not None

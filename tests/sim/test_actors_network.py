@@ -412,5 +412,5 @@ def test_drop_reasons_surface_through_monitor():
     a.send("b", "x")
     a.send("b", "y")
     sim.run()
-    counters = monitor.counters_with_prefix("net_drop:")
-    assert counters == {"net_drop:link_cut": 2}
+    counters = monitor.labeled_counters("net_drop")
+    assert counters == {"link_cut": 2}

@@ -155,3 +155,89 @@ class TestMonitor:
         m = Monitor()
         m.counter("a").inc()
         assert m.counters() == {"a": 1}
+
+
+class TestHistogramObserveMany:
+    def test_observe_many_is_an_alias_of_extend(self):
+        assert Histogram.observe_many is Histogram.extend
+        h = Histogram("lat")
+        h.observe_many([1.0, 2.0, 3.0])
+        assert h.count == 3 and h.mean() == pytest.approx(2.0)
+
+
+class TestTimeSeriesMerge:
+    def test_merge_from_adds_bucket_totals(self):
+        a = TimeSeries("tput")
+        b = TimeSeries("tput")
+        a.record(0.5, 2.0)
+        b.record(0.5, 3.0)
+        b.record(2.5, 1.0)
+        a.merge_from(b)
+        assert a.buckets() == [(0.0, 5.0), (1.0, 0.0), (2.0, 1.0)]
+
+    def test_merge_from_rejects_width_mismatch(self):
+        with pytest.raises(ValueError, match="widths"):
+            TimeSeries("x", width=1.0).merge_from(TimeSeries("x", width=2.0))
+
+
+class TestLabeledMetrics:
+    def test_label_combinations_are_distinct_metrics(self):
+        m = Monitor()
+        m.counter("fault", kind="cut").inc(2)
+        m.counter("fault", kind="crash").inc()
+        m.counter("fault").inc(9)  # unlabeled sibling stays separate
+        assert m.counter("fault", kind="cut").value == 2
+        assert m.labeled_counters("fault") == {"cut": 2, "crash": 1}
+
+    def test_label_order_does_not_matter(self):
+        m = Monitor()
+        m.counter("x", a=1, b=2).inc()
+        assert m.counter("b", a=1) is not m.counter("b", a=2)
+        assert m.counter("x", b=2, a=1).value == 1
+
+    def test_multi_label_key_is_sorted_value_tuple(self):
+        m = Monitor()
+        m.counter("rpc", method="get", code=200).inc(3)
+        # keys sorted alphabetically: code, method
+        assert m.labeled_counters("rpc") == {(200, "get"): 3}
+
+    def test_labeled_series(self):
+        m = Monitor()
+        m.series("tput", partition="p0").record(0.1, 5.0)
+        m.series("tput", partition="p1").record(0.1, 7.0)
+        by_part = m.labeled_series("tput")
+        assert set(by_part) == {"p0", "p1"}
+        assert by_part["p0"].total() == 5.0
+
+    def test_counters_with_prefix_warns_but_still_works(self):
+        m = Monitor()
+        m.counter("fault", kind="cut").inc()
+        with pytest.warns(DeprecationWarning, match="labeled_counters"):
+            found = m.counters_with_prefix("fault")
+        assert found == {"fault{kind=cut}": 1}
+
+
+class TestMonitorMerge:
+    def test_merge_folds_all_metric_kinds(self):
+        a, b = Monitor(), Monitor()
+        a.counter("cmds").inc(2)
+        b.counter("cmds").inc(3)
+        b.counter("fault", kind="cut").inc()
+        a.gauge("load").set(1.0)
+        b.gauge("load").set(0.5)
+        a.histogram("lat").observe(1.0)
+        b.histogram("lat").extend([2.0, 3.0])
+        b.series("tput", partition="p0").record(0.1, 4.0)
+        assert a.merge(b) is a
+        assert a.counter("cmds").value == 5
+        assert a.labeled_counters("fault") == {"cut": 1}
+        assert a.gauge("load").value == pytest.approx(1.5)
+        assert a.histogram("lat").count == 3
+        assert a.series("tput", partition="p0").total() == 4.0
+
+    def test_merge_preserves_label_identity(self):
+        a, b = Monitor(), Monitor()
+        a.counter("fault", kind="cut").inc()
+        b.counter("fault", kind="crash").inc()
+        a.merge(b)
+        assert a.labeled_counters("fault") == {"cut": 1, "crash": 1}
