@@ -109,14 +109,18 @@ class PaxosGroup:
         return None
 
     def delivered_log(self, replica_index: int = 0) -> list:
-        """Ordered values a replica has delivered so far (test helper)."""
+        """Ordered values a replica has delivered so far (test helper).
+
+        Starts at the replica's ``log_floor``: instances below it were
+        delivered but compacted away with the last checkpoint.
+        """
         replica = self.replicas[replica_index]
         out = []
         from repro.consensus.paxos import Batch
         from repro.consensus.messages import NoOp
 
         seen = set()
-        for instance in range(replica.next_deliver):
+        for instance in range(replica.log_floor, replica.next_deliver):
             batch = replica.decided[instance]
             values = batch.values if isinstance(batch, Batch) else (batch,)
             for value in values:

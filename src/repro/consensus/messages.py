@@ -115,10 +115,95 @@ class RecoverInfo:
 
     ``accepted`` maps instance -> (vballot, value) for every instance
     >= the query's ``low`` the acceptor has accepted a value in.
+    ``truncated_below`` is the acceptor's log-compaction floor: accepted
+    state below it was discarded, so a replica whose ``low`` falls under
+    it cannot re-sync from acceptors and must fetch a snapshot instead.
     """
 
     epoch: int
     accepted: dict
+    truncated_below: int = 0
+
+    def __hash__(self):  # pragma: no cover - only identity needed
+        return id(self)
+
+
+# -- checkpointing / log compaction / snapshot transfer ---------------------
+
+
+@dataclass(frozen=True)
+class WatermarkNotice:
+    """Replica -> group peers: "I hold a checkpoint at ``watermark``".
+
+    The group truncation point is the minimum over the *fresh* watermarks
+    (peers silent longer than the TTL are presumed crashed and excluded,
+    or one dead replica would pin the whole group's memory forever).
+    """
+
+    watermark: int
+
+
+@dataclass(frozen=True)
+class TruncateLog:
+    """Replica -> acceptor: discard accepted state below ``watermark``."""
+
+    watermark: int
+
+
+@dataclass(frozen=True)
+class LogTruncated:
+    """Peer reply to a LearnRequest for instances below its log floor:
+    the suffix the requester wants no longer exists; it must fetch a
+    snapshot at (or above) ``watermark`` instead."""
+
+    watermark: int
+
+
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """Recovering replica -> group peers: offer me a snapshot.
+
+    ``epoch`` tags one discovery round; stale SnapshotMeta replies from
+    an earlier round (or an abandoned provider) are ignored.
+    """
+
+    epoch: int
+
+
+@dataclass(frozen=True)
+class SnapshotMeta:
+    """Provider reply: snapshot ``snapshot_id`` at ``watermark`` with
+    ``total_items`` flattened state items is available for download."""
+
+    epoch: int
+    snapshot_id: str
+    watermark: int
+    total_items: int
+
+
+@dataclass(frozen=True)
+class SnapshotChunkRequest:
+    """Requester -> provider: send ``count`` items starting at ``offset``.
+
+    Retransmitted verbatim on timeout, which makes the transfer
+    resumable: the provider serves from the immutable flattened item
+    list, so any (offset, count) window can be re-requested.
+    """
+
+    snapshot_id: str
+    offset: int
+    count: int
+
+
+@dataclass(frozen=True)
+class SnapshotChunk:
+    """One window of flattened checkpoint items."""
+
+    snapshot_id: str
+    watermark: int
+    offset: int
+    items: tuple
+    total_items: int
 
     def __hash__(self):  # pragma: no cover - only identity needed
         return id(self)

@@ -20,6 +20,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.recovery.checkpoint import (
+    CheckpointRecord,
+    assemble_sections,
+    flatten_sections,
+)
+from repro.recovery.transfer import AdaptiveChunker, SnapshotFetch
 from repro.sim.actors import Actor
 from repro.consensus.messages import (
     Accept,
@@ -27,13 +33,20 @@ from repro.consensus.messages import (
     Decision,
     Heartbeat,
     LearnRequest,
+    LogTruncated,
     Nack,
     NoOp,
     Prepare,
     Promise,
     RecoverInfo,
     RecoverQuery,
+    SnapshotChunk,
+    SnapshotChunkRequest,
+    SnapshotMeta,
+    SnapshotRequest,
     Submit,
+    TruncateLog,
+    WatermarkNotice,
 )
 
 
@@ -55,6 +68,21 @@ class ReplicaConfig:
     window: int = 32
     catchup_period: float = 0.2
     recovery_retry: float = 0.3
+    #: Upper bound on the exponentially backed-off recovery retry delay.
+    recovery_retry_cap: float = 5.0
+    #: Checkpoint every N delivered instances (0 disables checkpointing,
+    #: log compaction, and snapshot transfer entirely).
+    checkpoint_interval: int = 0
+    #: A peer watermark older than this is presumed crashed and excluded
+    #: from the group truncation minimum.
+    watermark_ttl: float = 2.0
+    #: Snapshot transfer: per-request retransmission timeout, consecutive
+    #: timeouts before the provider is presumed dead, and chunk sizing.
+    snapshot_retry: float = 0.3
+    snapshot_giveup: int = 4
+    snapshot_chunk_init: int = 8
+    snapshot_chunk_max: int = 128
+    snapshot_target_rtt: float = 0.05
 
 
 class Acceptor(Actor):
@@ -65,6 +93,8 @@ class Acceptor(Actor):
         super().__init__(name)
         self.promised = 0
         self.accepted: dict[int, tuple[int, Any]] = {}
+        #: Log-compaction floor: accepted state below it was discarded.
+        self.truncated_below = 0
 
     def on_message(self, sender: str, message: Any) -> None:
         if isinstance(message, Prepare):
@@ -73,6 +103,8 @@ class Acceptor(Actor):
             self._on_accept(sender, message)
         elif isinstance(message, RecoverQuery):
             self._on_recover_query(sender, message)
+        elif isinstance(message, TruncateLog):
+            self._on_truncate(message)
 
     def _on_prepare(self, sender: str, msg: Prepare) -> None:
         if msg.ballot >= self.promised:
@@ -95,7 +127,17 @@ class Acceptor(Actor):
         without promising anything (unlike Prepare, this does not disturb
         the current leader)."""
         accepted = {i: va for i, va in self.accepted.items() if i >= msg.low}
-        self.send(sender, RecoverInfo(msg.epoch, accepted))
+        self.send(sender, RecoverInfo(msg.epoch, accepted, self.truncated_below))
+
+    def _on_truncate(self, msg: TruncateLog) -> None:
+        """Log compaction: the replicas checkpointed through ``watermark``,
+        so accepted state below it can never be needed again."""
+        if msg.watermark <= self.truncated_below:
+            return
+        self.truncated_below = msg.watermark
+        self.accepted = {
+            i: va for i, va in self.accepted.items() if i >= msg.watermark
+        }
 
 
 class PaxosReplica(Actor):
@@ -157,6 +199,28 @@ class PaxosReplica(Actor):
         self._recovery_epoch = 0
         self._recovery_replies: dict[str, RecoverInfo] = {}
         self._recovering = False
+        self._recovery_attempts = 0
+
+        # Checkpointing / log compaction (stable across crashes).
+        #: First instance still present in ``decided``.
+        self.log_floor = 0
+        #: Watermark of the newest local checkpoint (0 = none yet).
+        self.checkpoint_watermark = 0
+        self.last_checkpoint: Optional[CheckpointRecord] = None
+        #: snapshot_id -> (watermark, flattened items); the last two
+        #: checkpoints stay servable so a transfer survives one turnover.
+        self._served_snapshots: dict[str, tuple[int, list]] = {}
+        self._checkpoint_id = ""
+        #: peer replica -> (watermark, virtual time last heard).
+        self._peer_watermarks: dict[str, tuple[int, float]] = {}
+
+        # Snapshot download (volatile; reset by on_recover).
+        self._snapshot_epoch = 0
+        self._fetching: Optional[SnapshotFetch] = None
+
+        #: Optional metrics sink; subclasses (servers, oracle) install a
+        #: real Monitor after construction.
+        self.monitor = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -194,6 +258,8 @@ class PaxosReplica(Actor):
         self._accept_votes.clear()
         self._batch_timer = None
         self._started = False
+        self._recovery_attempts = 0
+        self._fetching = None
         self.tracer.record(
             "replica-recovered", self.now, group=self.group, replica=self.name
         )
@@ -214,7 +280,15 @@ class PaxosReplica(Actor):
 
     @property
     def max_decided(self) -> int:
-        return max(self.decided) if self.decided else -1
+        # After truncation ``decided`` may be empty even though instances
+        # were delivered; the delivery frontier keeps heartbeats truthful.
+        return max(self.decided) if self.decided else self.next_deliver - 1
+
+    def _count(self, name: str, amount: int = 1, **labels) -> None:
+        """Labeled counter increment, tolerating replicas without a
+        metrics sink (bare PaxosReplica instances in unit tests)."""
+        if self.monitor is not None:
+            self.monitor.counter(name, **labels).inc(amount)
 
     # -- message dispatch -----------------------------------------------------
 
@@ -235,6 +309,18 @@ class PaxosReplica(Actor):
             self._on_learn_request(sender, message)
         elif isinstance(message, RecoverInfo):
             self._on_recover_info(sender, message)
+        elif isinstance(message, WatermarkNotice):
+            self._on_watermark_notice(sender, message)
+        elif isinstance(message, LogTruncated):
+            self._on_log_truncated(sender, message)
+        elif isinstance(message, SnapshotRequest):
+            self._on_snapshot_request(sender, message)
+        elif isinstance(message, SnapshotMeta):
+            self._on_snapshot_meta(sender, message)
+        elif isinstance(message, SnapshotChunkRequest):
+            self._on_snapshot_chunk_request(sender, message)
+        elif isinstance(message, SnapshotChunk):
+            self._on_snapshot_chunk(sender, message)
         else:
             self.on_other_message(sender, message)
 
@@ -315,7 +401,9 @@ class PaxosReplica(Actor):
     # -- learning / delivery ------------------------------------------------------
 
     def _on_decision(self, instance: int, value: Any) -> None:
-        if instance in self.decided:
+        if instance < self.log_floor or instance in self.decided:
+            # Below the floor: already delivered *and* truncated — a
+            # re-proposal from a behind leader must not resurrect it.
             return
         self.decided[instance] = value
         while self.next_deliver in self.decided:
@@ -324,6 +412,7 @@ class PaxosReplica(Actor):
             values = batch.values if isinstance(batch, Batch) else (batch,)
             for v in values:
                 self._deliver_once(v)
+            self._maybe_checkpoint()
 
     def _deliver_once(self, value: Any) -> None:
         if isinstance(value, NoOp):
@@ -447,17 +536,23 @@ class PaxosReplica(Actor):
 
     def _request_recovery(self) -> None:
         """Ask all acceptors for their accepted state from ``next_deliver``
-        on; retries until a quorum replies for the current epoch."""
+        on; retries (with exponential backoff, capped) until a quorum
+        replies for the current epoch."""
         self._recovery_epoch += 1
         self._recovering = True
         self._recovery_replies.clear()
         query = RecoverQuery(self._recovery_epoch, self.next_deliver)
         for acceptor in self.acceptors:
             self.send(acceptor, query)
-        self.set_timer(self.config.recovery_retry, self._recovery_retry_tick)
+        delay = min(
+            self.config.recovery_retry * 2 ** self._recovery_attempts,
+            self.config.recovery_retry_cap,
+        )
+        self.set_timer(delay, self._recovery_retry_tick)
 
     def _recovery_retry_tick(self) -> None:
         if self._recovering:
+            self._recovery_attempts += 1
             self._request_recovery()
 
     def _on_recover_info(self, sender: str, msg: RecoverInfo) -> None:
@@ -467,6 +562,14 @@ class PaxosReplica(Actor):
         if len(self._recovery_replies) < self._quorum():
             return
         self._recovering = False
+        self._recovery_attempts = 0
+        # Behind the acceptors' compaction floor: the missing prefix no
+        # longer exists anywhere in the log — switch to snapshot transfer.
+        floor = max(r.truncated_below for r in self._recovery_replies.values())
+        if floor > self.next_deliver:
+            if self._fetching is None:
+                self._begin_snapshot_fetch(floor)
+            return
         # A value accepted at the same (instance, ballot) by a quorum is
         # chosen — the Paxos invariant that at most one value can gain a
         # quorum per ballot makes value comparison unnecessary.
@@ -488,11 +591,23 @@ class PaxosReplica(Actor):
 
     def _catchup_tick(self) -> None:
         behind = max(self._peer_max_decided, self.max_decided)
-        if behind >= self.next_deliver and self.next_deliver not in self.decided:
+        if (
+            self._fetching is None
+            and behind >= self.next_deliver
+            and self.next_deliver not in self.decided
+        ):
             for replica in self.replicas:
                 if replica != self.name:
                     self.send(replica, LearnRequest(self.next_deliver, behind))
         self._forward_pending()
+        # Re-gossip the checkpoint watermark (covers lost notices and
+        # peers that recovered since) and re-evaluate truncation.
+        if self.checkpoint_watermark > 0:
+            notice = WatermarkNotice(self.checkpoint_watermark)
+            for replica in self.replicas:
+                if replica != self.name:
+                    self.send(replica, notice)
+            self._maybe_truncate()
 
     def _forward_pending(self) -> None:
         """Follower liveness: re-route buffered submissions to the current
@@ -523,6 +638,346 @@ class PaxosReplica(Actor):
         self._pending_seen = set(self._pending_uids)
 
     def _on_learn_request(self, sender: str, msg: LearnRequest) -> None:
-        for instance in range(msg.low, msg.high + 1):
+        if msg.low < self.log_floor:
+            # The requested prefix was compacted away; point the peer at
+            # snapshot transfer instead of leaving it to retry forever.
+            self.send(sender, LogTruncated(self.log_floor))
+        for instance in range(max(msg.low, self.log_floor), msg.high + 1):
             if instance in self.decided:
                 self.send(sender, Decision(instance, self.decided[instance]))
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def capture_app_state(self) -> dict:
+        """Named state sections for a checkpoint (see
+        :mod:`repro.recovery.checkpoint`).  Every entry must be the
+        deterministic product of delivering the log prefix — captured in
+        canonical (sorted) form and deep-copied where mutable.  Subclass
+        overrides extend the dict with their own sections."""
+        return {
+            "paxos.state": {
+                "delivered_uids": sorted(self.delivered_uids, key=repr),
+            },
+        }
+
+    def install_app_state(self, sections: dict) -> None:
+        """Inverse of :meth:`capture_app_state`."""
+        state = sections.get("paxos.state", {})
+        self.delivered_uids = set(state.get("delivered_uids", ()))
+
+    def on_checkpoint(self, watermark: int) -> None:
+        """Hook run just before state capture (subclasses prune
+        checkpoint-aware retention buffers here)."""
+
+    def _maybe_checkpoint(self) -> None:
+        interval = self.config.checkpoint_interval
+        if (
+            interval <= 0
+            or self.next_deliver % interval != 0
+            or self.next_deliver <= self.checkpoint_watermark
+        ):
+            return
+        self._take_checkpoint()
+
+    def _take_checkpoint(self) -> None:
+        """Checkpoint the application state at the current delivery
+        frontier.  The watermark is a deterministic function of the log
+        (a multiple of the interval), so every replica checkpoints at
+        identical log positions regardless of message timing."""
+        watermark = self.next_deliver
+        self.on_checkpoint(watermark)
+        record = CheckpointRecord(watermark, self.capture_app_state())
+        self._register_checkpoint(record)
+        self.tracer.record(
+            "checkpoint", self.now,
+            group=self.group, replica=self.name,
+            watermark=watermark, items=record.total_items,
+        )
+        self._count("checkpoint", group=self.group)
+        self._peer_watermarks[self.name] = (watermark, self.now)
+        notice = WatermarkNotice(watermark)
+        for replica in self.replicas:
+            if replica != self.name:
+                self.send(replica, notice)
+        self._maybe_truncate()
+
+    def _register_checkpoint(self, record: CheckpointRecord) -> None:
+        """Make ``record`` the newest servable snapshot (keeping one
+        predecessor, so an in-flight transfer survives the turnover)."""
+        self.last_checkpoint = record
+        self.checkpoint_watermark = record.watermark
+        self._checkpoint_id = f"{self.name}@{record.watermark}"
+        self._served_snapshots[self._checkpoint_id] = (
+            record.watermark,
+            flatten_sections(record.sections),
+        )
+        while len(self._served_snapshots) > 2:
+            oldest = min(
+                self._served_snapshots, key=lambda k: self._served_snapshots[k][0]
+            )
+            del self._served_snapshots[oldest]
+
+    # -- log compaction --------------------------------------------------------------
+
+    def _on_watermark_notice(self, sender: str, msg: WatermarkNotice) -> None:
+        self._peer_watermarks[sender] = (msg.watermark, self.now)
+        self._maybe_truncate()
+
+    def _group_truncation_point(self) -> int:
+        """Minimum over the fresh checkpoint watermarks.  Peers silent
+        longer than the TTL (crashed, partitioned) are excluded — they
+        re-enter via snapshot transfer — but a peer that has never
+        checkpointed while we are freshly started holds truncation back
+        until the TTL decides its fate."""
+        if self.checkpoint_watermark <= 0:
+            return 0
+        horizon = self.now - self.config.watermark_ttl
+        floor = self.checkpoint_watermark
+        for peer in self.replicas:
+            if peer == self.name:
+                continue
+            entry = self._peer_watermarks.get(peer)
+            if entry is None:
+                if self.now <= self.config.watermark_ttl:
+                    return 0
+                continue
+            watermark, heard_at = entry
+            if heard_at < horizon:
+                continue
+            floor = min(floor, watermark)
+        return floor
+
+    def _maybe_truncate(self) -> None:
+        floor = min(self._group_truncation_point(), self.next_deliver)
+        if floor <= self.log_floor:
+            return
+        dropped = 0
+        for instance in range(self.log_floor, floor):
+            if self.decided.pop(instance, None) is not None:
+                dropped += 1
+        self.log_floor = floor
+        self.tracer.record(
+            "log-truncated", self.now,
+            group=self.group, replica=self.name,
+            floor=floor, dropped=dropped,
+        )
+        self._count("log_truncated", group=self.group)
+        self._count("log_instances_dropped", dropped, group=self.group)
+        truncate = TruncateLog(floor)
+        for acceptor in self.acceptors:
+            self.send(acceptor, truncate)
+
+    # -- snapshot transfer (provider side) --------------------------------------------
+
+    def _on_snapshot_request(self, sender: str, msg: SnapshotRequest) -> None:
+        if self.last_checkpoint is None or self._fetching is not None:
+            return  # nothing to offer, or recovering ourselves
+        record = self.last_checkpoint
+        self.send(
+            sender,
+            SnapshotMeta(
+                msg.epoch,
+                self._checkpoint_id,
+                record.watermark,
+                record.total_items,
+            ),
+        )
+
+    def _on_snapshot_chunk_request(self, sender: str, msg: SnapshotChunkRequest) -> None:
+        served = self._served_snapshots.get(msg.snapshot_id)
+        if served is None:
+            # Superseded snapshot: stay silent; the requester times out
+            # and re-discovers, landing on the current checkpoint.
+            return
+        watermark, items = served
+        window = tuple(items[msg.offset : msg.offset + msg.count])
+        self._count("snapshot_chunks_served", group=self.group)
+        self.send(
+            sender,
+            SnapshotChunk(
+                msg.snapshot_id, watermark, msg.offset, window, len(items)
+            ),
+        )
+
+    # -- snapshot transfer (requester side) -------------------------------------------
+
+    @property
+    def snapshot_trace_id(self) -> str:
+        return f"snapshot:{self.name}:{self._snapshot_epoch}"
+
+    def _begin_snapshot_fetch(self, min_watermark: int) -> None:
+        """Start (or restart, under a fresh epoch) snapshot discovery:
+        ask every peer replica for an offer and poll until one answers
+        with a usable watermark."""
+        self._snapshot_epoch += 1
+        self._fetching = SnapshotFetch(
+            epoch=self._snapshot_epoch,
+            chunker=AdaptiveChunker(
+                initial=self.config.snapshot_chunk_init,
+                max_count=self.config.snapshot_chunk_max,
+                target_rtt=self.config.snapshot_target_rtt,
+            ),
+        )
+        self.tracer.begin(
+            self.snapshot_trace_id, "snapshot-transfer", self.now,
+            group=self.group, replica=self.name, behind=min_watermark,
+        )
+        self._count("snapshot_fetches", group=self.group)
+        request = SnapshotRequest(self._snapshot_epoch)
+        for replica in self.replicas:
+            if replica != self.name:
+                self.send(replica, request)
+        self._arm_snapshot_timer(self._fetching)
+
+    def _arm_snapshot_timer(self, fetch: SnapshotFetch) -> None:
+        fetch.requested_at = self.now
+        epoch = fetch.epoch
+        offset = fetch.offset
+        self.set_timer(
+            self.config.snapshot_retry,
+            lambda: self._snapshot_retry_tick(epoch, offset),
+        )
+
+    def _snapshot_retry_tick(self, epoch: int, offset: int) -> None:
+        fetch = self._fetching
+        if fetch is None or fetch.epoch != epoch:
+            return
+        if fetch.provider is not None and fetch.offset != offset:
+            return  # progress was made; a newer timer covers the transfer
+        fetch.timeouts += 1
+        if fetch.discovering:
+            # No offer yet: re-broadcast the request under the same epoch.
+            request = SnapshotRequest(epoch)
+            for replica in self.replicas:
+                if replica != self.name:
+                    self.send(replica, request)
+            self._arm_snapshot_timer(fetch)
+            return
+        if fetch.timeouts >= self.config.snapshot_giveup:
+            # Provider presumed crashed mid-transfer: abandon the download
+            # and re-discover from scratch under a new epoch.
+            self.tracer.event_on(
+                self.snapshot_trace_id, "snapshot-transfer", None,
+                "provider-lost", self.now,
+                provider=fetch.provider, offset=fetch.offset,
+            )
+            self.tracer.finish(
+                self.snapshot_trace_id, "snapshot-transfer", self.now,
+                status="restarted",
+            )
+            self._count("snapshot_restarts", group=self.group)
+            self._begin_snapshot_fetch(fetch.watermark)
+            return
+        # Lost request or lost chunk: retransmit, with a smaller window.
+        fetch.chunker.shrink()
+        self._count("snapshot_chunk_retries", group=self.group)
+        self._request_chunk(fetch)
+
+    def _on_snapshot_meta(self, sender: str, msg: SnapshotMeta) -> None:
+        fetch = self._fetching
+        if (
+            fetch is None
+            or msg.epoch != fetch.epoch
+            or not fetch.discovering
+            or msg.watermark <= self.next_deliver
+        ):
+            return  # stale offer, or one that would not move us forward
+        fetch.provider = sender
+        fetch.snapshot_id = msg.snapshot_id
+        fetch.watermark = msg.watermark
+        fetch.total_items = msg.total_items
+        fetch.timeouts = 0
+        self.tracer.event_on(
+            self.snapshot_trace_id, "snapshot-transfer", None,
+            "offer-accepted", self.now,
+            provider=sender, watermark=msg.watermark, items=msg.total_items,
+        )
+        if msg.total_items == 0:
+            self._install_snapshot(fetch)
+            return
+        self._request_chunk(fetch)
+
+    def _request_chunk(self, fetch: SnapshotFetch) -> None:
+        self.send(
+            fetch.provider,
+            SnapshotChunkRequest(
+                fetch.snapshot_id, fetch.offset, fetch.chunker.count
+            ),
+        )
+        self._arm_snapshot_timer(fetch)
+
+    def _on_snapshot_chunk(self, sender: str, msg: SnapshotChunk) -> None:
+        fetch = self._fetching
+        if (
+            fetch is None
+            or msg.snapshot_id != fetch.snapshot_id
+            or msg.offset != fetch.offset
+        ):
+            return  # duplicate or superseded chunk
+        rtt = self.now - fetch.requested_at
+        fetch.chunker.observe(rtt)
+        fetch.items.extend(msg.items)
+        fetch.offset += len(msg.items)
+        fetch.timeouts = 0
+        fetch.chunks += 1
+        self._count("snapshot_chunks", group=self.group)
+        self.tracer.event_on(
+            self.snapshot_trace_id, "snapshot-transfer", None,
+            "chunk", self.now,
+            offset=msg.offset, count=len(msg.items), rtt=rtt,
+            next_count=fetch.chunker.count,
+        )
+        if fetch.complete:
+            self._install_snapshot(fetch)
+        elif msg.items:
+            self._request_chunk(fetch)
+        else:  # defensive: empty window short of the total — re-poll
+            self._arm_snapshot_timer(fetch)
+
+    def _install_snapshot(self, fetch: SnapshotFetch) -> None:
+        """Adopt the downloaded checkpoint: jump the delivery frontier to
+        its watermark, install the state sections, then re-run normal
+        recovery for the log suffix."""
+        watermark = fetch.watermark
+        record = CheckpointRecord(watermark, assemble_sections(fetch.items))
+        self._fetching = None
+        for instance in range(self.log_floor, watermark):
+            self.decided.pop(instance, None)
+        self.next_deliver = watermark
+        self.log_floor = watermark
+        self.next_instance = max(self.next_instance, watermark)
+        self.install_app_state(record.sections)
+        # The installed state doubles as this replica's own checkpoint:
+        # it can serve snapshots and gossip the watermark immediately.
+        self._register_checkpoint(record)
+        self._peer_watermarks[self.name] = (watermark, self.now)
+        self.tracer.finish(
+            self.snapshot_trace_id, "snapshot-transfer", self.now,
+            status="installed", watermark=watermark,
+            chunks=fetch.chunks, items=len(fetch.items),
+        )
+        self._count("snapshot_recoveries", group=self.group)
+        self.tracer.record(
+            "snapshot-installed", self.now,
+            group=self.group, replica=self.name,
+            watermark=watermark, provider=fetch.provider,
+        )
+        # Decisions above the watermark may already be buffered; drain.
+        while self.next_deliver in self.decided:
+            batch = self.decided[self.next_deliver]
+            self.next_deliver += 1
+            values = batch.values if isinstance(batch, Batch) else (batch,)
+            for v in values:
+                self._deliver_once(v)
+            self._maybe_checkpoint()
+        # Re-sync whatever suffix the acceptors still hold.
+        self._request_recovery()
+
+    def _on_log_truncated(self, sender: str, msg: LogTruncated) -> None:
+        """A peer compacted past our delivery frontier: normal catch-up
+        can never close the gap, so switch to snapshot transfer (unless a
+        download is already running)."""
+        if msg.watermark <= self.next_deliver or self._fetching is not None:
+            return
+        self._recovering = False
+        self._begin_snapshot_fetch(msg.watermark)

@@ -14,6 +14,7 @@ oracle.
 
 from __future__ import annotations
 
+import random
 from collections import Counter
 from typing import Any, Optional
 
@@ -98,6 +99,8 @@ class DynaStarClient(Actor):
         request_timeout: Optional[float] = None,
         backoff_factor: float = 2.0,
         max_timeout: Optional[float] = None,
+        retry_jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
         tracer: Optional[Tracer] = None,
     ):
         super().__init__(name)
@@ -121,9 +124,17 @@ class DynaStarClient(Actor):
             raise ValueError("request_timeout must be positive")
         if backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= retry_jitter < 1.0:
+            raise ValueError("retry_jitter must be in [0, 1)")
         self.request_timeout = request_timeout
         self.backoff_factor = backoff_factor
         self.max_timeout = max_timeout
+        #: Fractional jitter applied to every timeout delay.  Seeded and
+        #: per-client, so a fleet of clients that lost the same partition
+        #: spreads its retries instead of retrying in lockstep — while
+        #: two runs with the same seed still retry at identical times.
+        self.retry_jitter = retry_jitter
+        self.rng = rng or random.Random(0)
 
         self.cache: dict[Any, str] = {}
         self.completed = 0
@@ -175,6 +186,8 @@ class DynaStarClient(Actor):
         delay = self.request_timeout * self.backoff_factor**self._attempt
         if self.max_timeout is not None:
             delay = min(delay, self.max_timeout)
+        if self.retry_jitter > 0:
+            delay *= 1.0 + self.rng.uniform(-self.retry_jitter, self.retry_jitter)
         self._timeout_timer = self.set_timer(delay, self._on_timeout)
 
     def _cancel_timeout(self) -> None:

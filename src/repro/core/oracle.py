@@ -460,6 +460,45 @@ class OracleReplica(MulticastReplica):
                 self.plan_compute_cost, lambda: self._publish_plan(pending)
             )
 
+    # -- checkpointing ---------------------------------------------------------------------
+
+    def capture_app_state(self) -> dict:
+        state = super().capture_app_state()
+        state["oracle.location"] = dict(self.location)
+        state["oracle.state"] = {
+            "graph": self.graph.copy(),
+            "version": self.version,
+            "changes": self.changes,
+            "plan_inflight": self.plan_inflight,
+            "plans_issued": self.plans_issued,
+            "done_creates": sorted(self._done_creates.items()),
+            "done_deletes": sorted(self._done_deletes.items()),
+            "pending_plan": self._pending_plan,
+        }
+        return state
+
+    def install_app_state(self, sections: dict) -> None:
+        super().install_app_state(sections)
+        self.location = dict(sections.get("oracle.location", {}))
+        state = sections.get("oracle.state", {})
+        graph = state.get("graph")
+        self.graph = graph.copy() if graph is not None else WorkloadGraph()
+        self.version = state.get("version", 0)
+        self.changes = state.get("changes", 0)
+        self.plan_inflight = state.get("plan_inflight", False)
+        self.plans_issued = state.get("plans_issued", 0)
+        self._done_creates = dict(state.get("done_creates", ()))
+        self._done_deletes = dict(state.get("done_deletes", ()))
+        self._pending_plan = state.get("pending_plan")
+        # Same liveness guard as on_recover: a plan computed before the
+        # provider's checkpoint whose publish timer never fired here must
+        # be (re)published or plan_inflight wedges forever.
+        pending = self._pending_plan
+        if pending is not None and pending.version > self.version:
+            self.set_timer(
+                self.plan_compute_cost, lambda: self._publish_plan(pending)
+            )
+
     # -- helpers -------------------------------------------------------------------------
 
     def _amcast_ordered(self, dests, payload, uid: str) -> None:

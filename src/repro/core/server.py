@@ -985,3 +985,94 @@ class PartitionServer(MulticastReplica):
     def _retransmit_outbox(self) -> None:
         for (replica, _uid), envelope in self._outbox.items():
             self.send(replica, envelope)
+
+    # -- checkpointing -----------------------------------------------------------------------------------
+
+    def capture_app_state(self) -> dict:
+        state = super().capture_app_state()
+        # The store is its own section so snapshot chunking happens at
+        # per-variable granularity (it dominates checkpoint size).
+        state["server.store"] = self.store.snapshot(self.store.variables())
+        state["server.state"] = {
+            "owned_nodes": sorted(self.owned_nodes, key=repr),
+            "in_transit": sorted(self.in_transit, key=repr),
+            "version": self.version,
+            "last_plan": sorted(self.last_plan.items(), key=repr),
+            # Queued payloads / buffered transfers hold immutable message
+            # dataclasses (and value copies made at lend time) — shipping
+            # references is safe; installers re-copy on store insertion.
+            "queue": tuple(self.queue),
+            "head_state": dict(self._head_state),
+            "recv_transfers": sorted(
+                ((key, sorted(buf.items())) for key, buf in self.recv_transfers.items()),
+                key=repr,
+            ),
+            "recv_returns": sorted(
+                ((key, sorted(buf.items())) for key, buf in self.recv_returns.items()),
+                key=repr,
+            ),
+            "transfer_failures": sorted(
+                ((key, sorted(parts)) for key, parts in self.transfer_failures.items()),
+                key=repr,
+            ),
+            "aborted_cmds": sorted(self.aborted_cmds, key=repr),
+            "finished_cmds": sorted(self._finished_cmds, key=repr),
+            "plan_transfer_seen": sorted(self._plan_transfer_seen, key=repr),
+            "early_plan_transfers": sorted(
+                self._early_plan_transfers.items(), key=repr
+            ),
+            "exec_results": sorted(self._exec_results.items(), key=repr),
+            "node_uids": sorted(
+                ((node, list(uids)) for node, uids in self._node_uids.items()),
+                key=repr,
+            ),
+            "reliable_seen": sorted(self._reliable_seen, key=repr),
+            "outbox": sorted(self._outbox.items(), key=repr),
+            "hint_vertices": sorted(self._hint_vertices.items(), key=repr),
+            "hint_edges": sorted(self._hint_edges.items(), key=repr),
+            "hint_seq": self._hint_seq,
+            "executed_count": self.executed_count,
+            "multi_partition_count": self.multi_partition_count,
+        }
+        return state
+
+    def install_app_state(self, sections: dict) -> None:
+        super().install_app_state(sections)
+        self.store = VariableStore()
+        self.node_vars = {}
+        for var, value in sections.get("server.store", {}).items():
+            self.store.insert_copy(var, value)
+            self._index_var(var)
+        state = sections.get("server.state", {})
+        self.owned_nodes = set(state.get("owned_nodes", ()))
+        self.in_transit = set(state.get("in_transit", ()))
+        self.version = state.get("version", 0)
+        self.last_plan = dict(state.get("last_plan", ()))
+        self.queue = deque(state.get("queue", ()))
+        self._head_state = dict(state.get("head_state", {}))
+        self.recv_transfers = {
+            key: dict(buf) for key, buf in state.get("recv_transfers", ())
+        }
+        self.recv_returns = {
+            key: dict(buf) for key, buf in state.get("recv_returns", ())
+        }
+        self.transfer_failures = {
+            key: set(parts) for key, parts in state.get("transfer_failures", ())
+        }
+        self.aborted_cmds = set(state.get("aborted_cmds", ()))
+        self._finished_cmds = set(state.get("finished_cmds", ()))
+        self._plan_transfer_seen = set(state.get("plan_transfer_seen", ()))
+        self._early_plan_transfers = dict(state.get("early_plan_transfers", ()))
+        self._exec_results = dict(state.get("exec_results", ()))
+        self._node_uids = {
+            node: list(uids) for node, uids in state.get("node_uids", ())
+        }
+        self._reliable_seen = set(state.get("reliable_seen", ()))
+        self._outbox = dict(state.get("outbox", ()))
+        self._hint_vertices = Counter(dict(state.get("hint_vertices", ())))
+        self._hint_edges = Counter(dict(state.get("hint_edges", ())))
+        self._hint_seq = state.get("hint_seq", 0)
+        self.executed_count = state.get("executed_count", 0)
+        self.multi_partition_count = state.get("multi_partition_count", 0)
+        # Whatever is runnable in the adopted queue can run right away.
+        self._pump()

@@ -69,6 +69,14 @@ class SystemConfig:
     client_backoff: float = 2.0
     client_timeout_cap: Optional[float] = None
     client_max_attempts: int = 100
+    #: Seeded, deterministic jitter fraction applied to client retry
+    #: backoff delays (0 disables): after a partition crash, hundreds of
+    #: clients time out together; jitter de-synchronizes the retry storm.
+    client_retry_jitter: float = 0.1
+    #: Convenience alias for ``replica.checkpoint_interval``: checkpoint
+    #: (and compact the Paxos log) every N delivered instances per group
+    #: (0 disables checkpointing and snapshot-based recovery).
+    checkpoint_interval: int = 0
     #: Period of the servers' reliable-channel retransmission timer
     #: (0 disables retransmission).
     retransmit_period: float = 0.5
@@ -119,6 +127,9 @@ class DynaStarSystem:
         self.clients: list[DynaStarClient] = []
         self._started = False
         self._client_seq = 0
+
+        if cfg.checkpoint_interval:
+            cfg.replica.checkpoint_interval = cfg.checkpoint_interval
 
         group_config = GroupConfig(
             n_replicas=cfg.n_replicas,
@@ -277,6 +288,8 @@ class DynaStarSystem:
             ),
             backoff_factor=cfg.client_backoff,
             max_timeout=cfg.client_timeout_cap,
+            retry_jitter=cfg.client_retry_jitter,
+            rng=self.seeds.rng(f"client:{name}"),
             tracer=self.tracer,
         )
         self.net.register(client)

@@ -105,6 +105,37 @@ class ChaosInjector:
         for replica in self._crashed_leaders.pop(group, []):
             replica.recover()
 
+    # -- snapshot-transfer fault points --------------------------------------
+
+    def _do_crash_mid_transfer(self, group: str) -> None:
+        """Crash the replica of ``group`` currently downloading a
+        snapshot — the requester-dies-mid-transfer fault point.  No-op
+        (still logged) when no transfer is in flight at fire time."""
+        for replica in self._group(group).replicas:
+            if not replica.crashed and replica._fetching is not None:
+                replica.crash()
+                return
+
+    def _do_crash_snapshot_provider(self, group: str) -> None:
+        """Crash the replica of ``group`` currently *serving* a snapshot
+        download (resolved via the requester's fetch state).  Falls back
+        to any live replica holding a checkpoint, so a schedule that
+        fires a beat early still kills the would-be provider."""
+        g = self._group(group)
+        by_name = {replica.name: replica for replica in g.replicas}
+        for replica in g.replicas:
+            fetch = replica._fetching
+            if fetch is None or fetch.provider is None:
+                continue
+            provider = by_name.get(fetch.provider)
+            if provider is not None and not provider.crashed:
+                provider.crash()
+                return
+        for replica in g.replicas:
+            if not replica.crashed and replica.last_checkpoint is not None:
+                replica.crash()
+                return
+
     # -- links --------------------------------------------------------------
 
     def _do_cut(self, a: str, b: str) -> None:

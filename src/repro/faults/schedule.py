@@ -22,6 +22,11 @@ heal_groups         (side_a, side_b)
 heal_all            ()
 loss_burst          (duration, probability)
 delay_spike         (duration, extra_latency)
+crash_mid_transfer  (group,)  — crash the replica currently downloading
+                                a snapshot (no-op if none is)
+crash_snapshot_provider (group,) — crash the replica currently serving a
+                                snapshot download (falls back to a live
+                                replica holding a checkpoint)
 ==================  =============================================
 
 Schedules are plain data: they can be written by hand in tests, emitted
@@ -51,6 +56,8 @@ _KIND_ARITY = {
     "heal_all": 0,
     "loss_burst": 2,
     "delay_spike": 2,
+    "crash_mid_transfer": 1,
+    "crash_snapshot_provider": 1,
 }
 
 FAULT_KINDS = frozenset(_KIND_ARITY)

@@ -73,6 +73,9 @@ class MulticastReplica(PaxosReplica):
         self.pending_msgs: dict[str, _Pending] = {}
         self.adelivered_uids: set[str] = set()
         self._adelivered_ts: dict[str, int] = {}
+        #: Retained-timestamp keys already present at the last checkpoint
+        #: (pruned at the next one — two-generation retention).
+        self._adelivered_ts_prev: set[str] = set()
         self.adelivered_count = 0
         self._fifo_next: dict[str, int] = {}
         self._fifo_blocked: dict[str, dict[int, MulticastMessage]] = {}
@@ -96,6 +99,68 @@ class MulticastReplica(PaxosReplica):
     def on_recover(self) -> None:
         self._retransmit_timer_armed = False
         super().on_recover()
+
+    # -- checkpointing --------------------------------------------------------
+
+    def on_checkpoint(self, watermark: int) -> None:
+        """Checkpoint-aware timestamp retention: `_adelivered_ts` entries
+        exist only to re-answer duplicate-OrderEvent probes from peer
+        groups whose copy of our RemoteTs was lost.  Such probes arrive
+        within retransmission timescales, so entries that have survived a
+        full checkpoint interval are dropped — memory stays bounded by
+        the interval instead of growing with every multi-group message.
+        Pruning happens at a log watermark, so replicas prune in step."""
+        super().on_checkpoint(watermark)
+        for uid in self._adelivered_ts_prev:
+            self._adelivered_ts.pop(uid, None)
+        self._adelivered_ts_prev = set(self._adelivered_ts)
+
+    def capture_app_state(self) -> dict:
+        state = super().capture_app_state()
+        state["mcast.state"] = {
+            "clock": self.clock,
+            # Messages are immutable dataclasses shared within the sim,
+            # so references are safe to ship; per-message Skeen
+            # bookkeeping is re-materialized on install.
+            "pending": [
+                (uid, entry.message, entry.local_ts, sorted(entry.ts_from.items()))
+                for uid, entry in sorted(self.pending_msgs.items())
+            ],
+            "adelivered_uids": sorted(self.adelivered_uids),
+            "adelivered_ts": sorted(self._adelivered_ts.items()),
+            "adelivered_ts_prev": sorted(self._adelivered_ts_prev),
+            "adelivered_count": self.adelivered_count,
+            "fifo_next": sorted(self._fifo_next.items()),
+            "fifo_blocked": [
+                (key, sorted(blocked.items()))
+                for key, blocked in sorted(self._fifo_blocked.items())
+            ],
+            "early_ts": [
+                (uid, sorted(per_group.items()))
+                for uid, per_group in sorted(self._early_ts_store.items())
+            ],
+        }
+        return state
+
+    def install_app_state(self, sections: dict) -> None:
+        super().install_app_state(sections)
+        state = sections.get("mcast.state", {})
+        self.clock = state.get("clock", 0)
+        self.pending_msgs = {
+            uid: _Pending(message=message, local_ts=local_ts, ts_from=dict(ts_from))
+            for uid, message, local_ts, ts_from in state.get("pending", ())
+        }
+        self.adelivered_uids = set(state.get("adelivered_uids", ()))
+        self._adelivered_ts = dict(state.get("adelivered_ts", ()))
+        self._adelivered_ts_prev = set(state.get("adelivered_ts_prev", ()))
+        self.adelivered_count = state.get("adelivered_count", 0)
+        self._fifo_next = dict(state.get("fifo_next", ()))
+        self._fifo_blocked = {
+            key: dict(blocked) for key, blocked in state.get("fifo_blocked", ())
+        }
+        self._early_ts_store = {
+            uid: dict(per_group) for uid, per_group in state.get("early_ts", ())
+        }
 
     # -- log delivery (the deterministic Skeen machine) --------------------------
 

@@ -1,0 +1,24 @@
+"""Checkpointing, log compaction, and snapshot-based state transfer.
+
+The memory half of the crash-recovery story (the fault-injection half
+lives in :mod:`repro.faults`): replicas periodically checkpoint their
+application state at decided-instance watermarks, gossip the watermarks
+inside the group, truncate the Paxos log (replicas *and* acceptors)
+below the group-wide minimum, and serve chunked, resumable snapshot
+transfers to replicas that restart behind the truncation point.
+"""
+
+from repro.recovery.checkpoint import (
+    CheckpointRecord,
+    assemble_sections,
+    flatten_sections,
+)
+from repro.recovery.transfer import AdaptiveChunker, SnapshotFetch
+
+__all__ = [
+    "CheckpointRecord",
+    "assemble_sections",
+    "flatten_sections",
+    "AdaptiveChunker",
+    "SnapshotFetch",
+]

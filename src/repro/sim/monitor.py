@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import bisect
 import math
-import warnings
 from typing import Iterable, Optional
 
 
@@ -268,23 +267,6 @@ class Monitor:
             _label_key(s.labels): s
             for s in self._series.values()
             if s.name == name and s.labels
-        }
-
-    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
-        """Deprecated: counters whose registry key starts with ``prefix``.
-
-        The old ``f"fault:{kind}"`` convention this served is replaced
-        by labeled metrics — use ``labeled_counters("fault")`` instead.
-        """
-        warnings.warn(
-            "counters_with_prefix is deprecated; use labeled_counters",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return {
-            key: c.value
-            for key, c in self._counters.items()
-            if key.startswith(prefix)
         }
 
     def merge(self, other: "Monitor") -> "Monitor":

@@ -1,0 +1,115 @@
+"""Unit tests for the checkpoint/transfer primitives in `repro.recovery`."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.recovery import (
+    AdaptiveChunker,
+    CheckpointRecord,
+    assemble_sections,
+    flatten_sections,
+)
+
+
+class TestAdaptiveChunker:
+    def test_slow_link_shrinks_fast_link_grows(self):
+        c = AdaptiveChunker(initial=8, target_rtt=0.05)
+        assert c.observe(0.2) == 4  # 4x over target -> clamped to halving
+        assert c.observe(0.01) == 8  # 5x under target -> clamped to doubling
+
+    def test_growth_and_shrink_are_clamped_per_step(self):
+        c = AdaptiveChunker(initial=10, target_rtt=0.05)
+        assert c.observe(1e-9) == 20  # at most doubles
+        assert c.observe(1e9) == 10  # at most halves
+
+    def test_bounds_are_respected(self):
+        c = AdaptiveChunker(initial=8, min_count=2, max_count=16, target_rtt=0.05)
+        for _ in range(10):
+            c.observe(10.0)
+        assert c.count == 2
+        for _ in range(10):
+            c.observe(0.001)
+        assert c.count == 16
+
+    def test_zero_rtt_treated_as_fast(self):
+        c = AdaptiveChunker(initial=4, target_rtt=0.05)
+        assert c.observe(0.0) == 8
+
+    def test_shrink_halves_down_to_min(self):
+        c = AdaptiveChunker(initial=8, min_count=1)
+        assert c.shrink() == 4
+        assert c.shrink() == 2
+        assert c.shrink() == 1
+        assert c.shrink() == 1
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveChunker(initial=0, min_count=1)
+        with pytest.raises(ValueError):
+            AdaptiveChunker(target_rtt=0.0)
+
+    def test_deterministic_for_same_rtt_sequence(self):
+        rtts = [0.08, 0.02, 0.05, 0.4, 0.01]
+        a = AdaptiveChunker(initial=8)
+        b = AdaptiveChunker(initial=8)
+        assert [a.observe(r) for r in rtts] == [b.observe(r) for r in rtts]
+
+
+class TestFlattenAssemble:
+    def test_flatten_orders_by_section_then_key_repr(self):
+        sections = {
+            "b.section": {"x": 1},
+            "a.section": {"k2": 2, "k10": 3},
+        }
+        items = flatten_sections(sections)
+        assert [(s, k) for s, k, _ in items] == [
+            ("a.section", "k10"),
+            ("a.section", "k2"),
+            ("b.section", "x"),
+        ]
+
+    def test_round_trip(self):
+        sections = {
+            "server.store": {"k0": [1, 2], "k1": {"a": 3}},
+            "paxos.state": {"delivered_uids": ["u1", "u2"]},
+        }
+        assert assemble_sections(flatten_sections(sections)) == sections
+
+    def test_assemble_is_order_insensitive(self):
+        sections = {"s": {"a": 1, "b": 2}, "t": {"c": 3}}
+        items = flatten_sections(sections)
+        assert assemble_sections(reversed(items)) == sections
+
+    def test_mixed_key_types_flatten_deterministically(self):
+        sections = {"s": {("p0", 3): "x", "plain": "y", 7: "z"}}
+        a = flatten_sections(sections)
+        b = flatten_sections({"s": dict(reversed(list(sections["s"].items())))})
+        assert a == b
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.dictionaries(
+                st.one_of(st.text(max_size=6), st.integers(), st.tuples(st.text(max_size=3), st.integers())),
+                st.integers(),
+                max_size=5,
+            ),
+            max_size=4,
+        )
+    )
+    @settings(max_examples=100)
+    def test_round_trip_property(self, sections):
+        # Empty sections vanish in flattening (nothing to transfer), so
+        # compare against the record with empties dropped.
+        nonempty = {s: d for s, d in sections.items() if d}
+        assert assemble_sections(flatten_sections(sections)) == nonempty
+
+
+class TestCheckpointRecord:
+    def test_total_items_counts_all_sections(self):
+        record = CheckpointRecord(
+            watermark=12, sections={"a": {"x": 1, "y": 2}, "b": {"z": 3}}
+        )
+        assert record.total_items == 3
+        assert record.watermark == 12

@@ -209,12 +209,10 @@ class TestLabeledMetrics:
         assert set(by_part) == {"p0", "p1"}
         assert by_part["p0"].total() == 5.0
 
-    def test_counters_with_prefix_warns_but_still_works(self):
-        m = Monitor()
-        m.counter("fault", kind="cut").inc()
-        with pytest.warns(DeprecationWarning, match="labeled_counters"):
-            found = m.counters_with_prefix("fault")
-        assert found == {"fault{kind=cut}": 1}
+    def test_counters_with_prefix_shim_is_gone(self):
+        # Deprecated in the observability PR, removed in the recovery PR:
+        # all callers read labeled metrics via labeled_counters now.
+        assert not hasattr(Monitor, "counters_with_prefix")
 
 
 class TestMonitorMerge:
