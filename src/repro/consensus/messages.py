@@ -11,21 +11,21 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Submit:
     """Ask a group to order ``value``.  ``value.uid`` must be unique."""
 
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NoOp:
     """Filler value used by a new leader to close gap instances."""
 
     uid: str = "noop"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prepare:
     """Phase 1a: new leader claims ``ballot`` for all instances >= low."""
 
@@ -33,7 +33,7 @@ class Prepare:
     low: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Promise:
     """Phase 1b: acceptor's promise plus previously accepted values.
 
@@ -48,7 +48,7 @@ class Promise:
         return id(self)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Accept:
     """Phase 2a: leader asks acceptors to accept ``value`` in ``instance``."""
 
@@ -57,7 +57,7 @@ class Accept:
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Accepted:
     """Phase 2b: acceptor accepted (ballot, instance, value)."""
 
@@ -65,7 +65,7 @@ class Accepted:
     instance: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision:
     """Learner notification: ``value`` was chosen in ``instance``."""
 
@@ -73,7 +73,7 @@ class Decision:
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Heartbeat:
     """Leader liveness beacon carrying the highest decided instance."""
 
@@ -81,7 +81,7 @@ class Heartbeat:
     max_decided: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LearnRequest:
     """Ask a peer replica to resend decisions for instances in [low, high]."""
 
@@ -89,7 +89,7 @@ class LearnRequest:
     high: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Nack:
     """Acceptor rejection telling the proposer about a higher ballot."""
 
@@ -97,7 +97,7 @@ class Nack:
     instance: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecoverQuery:
     """Recovering replica asks acceptors for their accepted state.
 
@@ -109,7 +109,7 @@ class RecoverQuery:
     low: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecoverInfo:
     """Acceptor reply to :class:`RecoverQuery`.
 
@@ -131,7 +131,7 @@ class RecoverInfo:
 # -- checkpointing / log compaction / snapshot transfer ---------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WatermarkNotice:
     """Replica -> group peers: "I hold a checkpoint at ``watermark``".
 
@@ -143,14 +143,14 @@ class WatermarkNotice:
     watermark: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TruncateLog:
     """Replica -> acceptor: discard accepted state below ``watermark``."""
 
     watermark: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogTruncated:
     """Peer reply to a LearnRequest for instances below its log floor:
     the suffix the requester wants no longer exists; it must fetch a
@@ -159,7 +159,7 @@ class LogTruncated:
     watermark: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnapshotRequest:
     """Recovering replica -> group peers: offer me a snapshot.
 
@@ -170,7 +170,7 @@ class SnapshotRequest:
     epoch: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnapshotMeta:
     """Provider reply: snapshot ``snapshot_id`` at ``watermark`` with
     ``total_items`` flattened state items is available for download."""
@@ -181,7 +181,7 @@ class SnapshotMeta:
     total_items: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnapshotChunkRequest:
     """Requester -> provider: send ``count`` items starting at ``offset``.
 
@@ -195,7 +195,7 @@ class SnapshotChunkRequest:
     count: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnapshotChunk:
     """One window of flattened checkpoint items."""
 

@@ -21,7 +21,7 @@ from repro.smr.command import Command
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OracleQuery:
     """Client -> oracle: what should I do with this command?
 
@@ -37,7 +37,7 @@ class OracleQuery:
     dispatch: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecCommand:
     """Single-partition command execution request."""
 
@@ -46,7 +46,7 @@ class ExecCommand:
     attempt: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GlobalCommand:
     """Multi-partition command: gather variables at ``target``, execute
     there, return them (the paper's ``global(ω, Pd, C)``).
@@ -69,7 +69,7 @@ class GlobalCommand:
         return tuple(n for n, p in self.locations if p == partition)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CreateVar:
     """Oracle -> {oracle, partition}: materialize a new variable."""
 
@@ -81,7 +81,7 @@ class CreateVar:
     attempt: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeleteVar:
     """Oracle -> {oracle, partition}: remove a variable."""
 
@@ -93,7 +93,7 @@ class DeleteVar:
     attempt: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecutionHint:
     """Server -> oracle: observed workload-graph vertices and edges.
 
@@ -107,7 +107,7 @@ class ExecutionHint:
     edges: tuple  # ((u, v, weight), ...)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PartitionPlan:
     """Oracle -> everyone: new node -> partition assignment, versioned."""
 
@@ -128,7 +128,7 @@ class ProphecyStatus(enum.Enum):
     NOK = "nok"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prophecy:
     """Oracle replica -> client: locations and target for a command."""
 
@@ -141,7 +141,7 @@ class Prophecy:
     reason: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VarTransfer:
     """Source partition -> target partition: borrowed variables for a
     multi-partition command.
@@ -162,7 +162,7 @@ class VarTransfer:
         return (self.cmd_uid, self.attempt)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VarReturn:
     """Target partition -> source partition: borrowed variables coming
     home (with post-execution values).
@@ -181,7 +181,7 @@ class VarReturn:
         return (self.cmd_uid, self.attempt)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferFailed:
     """A partition involved in a multi-partition command discovered the
     command's location map is stale; everyone involved should abort and
@@ -196,7 +196,7 @@ class TransferFailed:
         return (self.cmd_uid, self.attempt)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlanTransfer:
     """Old owner -> new owner: a node's variables moving under a
     repartitioning plan.
@@ -218,7 +218,7 @@ class PlanTransfer:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReliableMsg:
     """Envelope for at-least-once replica-to-replica delivery.
 
@@ -236,7 +236,7 @@ class ReliableMsg:
         return hash(self.uid)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReliableAck:
     """Receiver -> sender: envelope ``uid`` arrived; stop retransmitting."""
 

@@ -1,0 +1,519 @@
+"""Wall-clock benchmark harness: the repo's perf trajectory.
+
+Runs pinned, seeded scenarios and writes a ``BENCH_<date>.json`` with
+events/sec, wall-clock seconds, and peak RSS per scenario::
+
+    python -m repro.experiments.perf            # full scale (~2 min)
+    python -m repro.experiments.perf --quick    # CI smoke scale (~30 s)
+
+Scenarios
+---------
+* ``social_macro`` — the Chirper social network on DynaStar (the
+  headline macro scenario; the optimization acceptance bar is measured
+  here).
+* ``tpcc`` — TPC-C with warehouse-aligned partitions.
+* ``chaos`` — Chirper under message loss, crashes, link cuts, and
+  client-timeout retries.
+* ``micro.*`` — event dispatch, ``Network.send``, ``Monitor`` counter
+  increments, and ``fastcopy.copy_value`` in isolation.
+
+Determinism gate
+----------------
+Every optimization to the simulation hot path must be a *pure
+mechanical speedup*: seeded runs must produce byte-identical trace
+JSONL and identical metric dumps.  The harness proves this two ways:
+
+* **repeat gate** — each gated scenario runs twice in-process; the two
+  trace exports and metric dumps must be byte-identical or the harness
+  exits nonzero (this is what CI enforces).
+* **baseline comparison** — trace/metric SHA-256 digests are compared
+  against ``benchmarks/perf/baseline.json`` (recorded before the
+  optimization pass) and the match is recorded in the output, proving
+  the optimized hot path replays the exact same simulation.  Use
+  ``--strict-baseline`` to also fail on a mismatch (off by default:
+  digests are only comparable on the interpreter that recorded them).
+
+``--rebaseline`` rewrites the current mode's section of the baseline
+file from this run.  Timing comparisons are only meaningful against a
+baseline recorded on the same machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import io
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.harness import (
+    build_chirper_system,
+    build_tpcc_system,
+    make_social_graph,
+    tpcc_workload,
+)
+from repro.faults import ChaosConfig, ChaosInjector, generate_for_system
+from repro.sim.events import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.monitor import Monitor
+from repro.sim.network import Network
+from repro.smr.fastcopy import copy_value
+from repro.workloads.social import ChirperWorkload
+
+#: Bump when scenario definitions change incompatibly (invalidates
+#: baseline comparisons).
+SCHEMA_VERSION = 1
+
+#: Pinned seeds — the whole point is replayable runs.
+SOCIAL_SEED = 11
+WORKLOAD_SEED = 3
+SYSTEM_SEED = 1
+CHAOS_SEED = 77
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process, in KiB (Linux semantics)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _timed(fn):
+    """Run ``fn`` and return (result, wall_clock_seconds)."""
+    gc.collect()
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# Macro scenarios
+# ---------------------------------------------------------------------------
+
+
+def _social_system(quick: bool, tracing: bool = False, gate: bool = False):
+    n_users = 120 if (quick or gate) else 300
+    graph = make_social_graph(n_users, seed=SOCIAL_SEED)
+    system = build_chirper_system(
+        2,
+        graph,
+        mode="dynastar",
+        seed=SYSTEM_SEED,
+        repartition_threshold=4000,
+    )
+    system.config.tracing = tracing
+    system.tracer.enabled = tracing
+    workload = ChirperWorkload(graph, mix="mix", seed=WORKLOAD_SEED)
+    return system, workload
+
+
+def run_social_macro(quick: bool) -> dict:
+    system, workload = _social_system(quick)
+    n_clients = 4 if quick else 8
+    duration = 4.0 if quick else 10.0
+    for _ in range(n_clients):
+        system.add_client(workload, stop_at=duration)
+    _, wall = _timed(lambda: system.run(until=duration))
+    return {
+        "wall_clock_s": wall,
+        "events": system.sim.events_processed,
+        "events_per_sec": system.sim.events_processed / wall,
+        "commands_completed": system.total_completed(),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run_tpcc(quick: bool) -> dict:
+    system, tpcc_config = build_tpcc_system(2, mode="dynastar", seed=SYSTEM_SEED)
+    workload = tpcc_workload(tpcc_config, seed=WORKLOAD_SEED)
+    n_clients = 4 if quick else 8
+    duration = 4.0 if quick else 10.0
+    for _ in range(n_clients):
+        system.add_client(workload, stop_at=duration)
+    _, wall = _timed(lambda: system.run(until=duration))
+    return {
+        "wall_clock_s": wall,
+        "events": system.sim.events_processed,
+        "events_per_sec": system.sim.events_processed / wall,
+        "commands_completed": system.total_completed(),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def _chaos_system(quick: bool, tracing: bool = False):
+    n_users = 80 if quick else 150
+    graph = make_social_graph(n_users, seed=SOCIAL_SEED)
+    system = build_chirper_system(
+        2,
+        graph,
+        mode="dynastar",
+        seed=SYSTEM_SEED,
+    )
+    cfg = system.config
+    cfg.tracing = tracing
+    system.tracer.enabled = tracing
+    cfg.loss_probability = 0.02
+    system.net.loss_probability = 0.02
+    cfg.client_timeout = 0.25
+    cfg.client_timeout_cap = 2.0
+    duration = 4.0 if quick else 8.0
+    chaos = ChaosConfig(duration=duration * 0.75, start_after=0.5)
+    schedule = generate_for_system(system, chaos, seed=CHAOS_SEED)
+    ChaosInjector(system, schedule).arm()
+    workload = ChirperWorkload(graph, mix="mix", seed=WORKLOAD_SEED)
+    return system, workload, duration
+
+
+def run_chaos(quick: bool) -> dict:
+    system, workload, duration = _chaos_system(quick)
+    for _ in range(4):
+        system.add_client(workload, stop_at=duration)
+    _, wall = _timed(lambda: system.run(until=duration + 4.0))
+    return {
+        "wall_clock_s": wall,
+        "events": system.sim.events_processed,
+        "events_per_sec": system.sim.events_processed / wall,
+        "commands_completed": system.total_completed(),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Micro-benchmarks
+# ---------------------------------------------------------------------------
+
+
+def micro_event_dispatch(quick: bool) -> dict:
+    n = 100_000 if quick else 400_000
+    sim = Simulator()
+
+    def noop():
+        pass
+
+    def setup_and_run():
+        for i in range(n):
+            sim.schedule(i * 1e-6, noop)
+        sim.run()
+
+    _, wall = _timed(setup_and_run)
+    return {"ops": n, "wall_clock_s": wall, "ops_per_sec": n / wall}
+
+
+def micro_network_send(quick: bool) -> dict:
+    from repro.sim.actors import Actor
+
+    n = 30_000 if quick else 120_000
+
+    class Sink(Actor):
+        def on_message(self, sender, message):
+            pass
+
+    sim = Simulator()
+    net = Network(sim, default_latency=ConstantLatency(0.0001))
+    net.register(Sink("a"))
+    net.register(Sink("b"))
+
+    def send_all():
+        for i in range(n):
+            net.send("a", "b", i)
+        sim.run()
+
+    _, wall = _timed(send_all)
+    return {"ops": n, "wall_clock_s": wall, "ops_per_sec": n / wall}
+
+
+def micro_monitor_counters(quick: bool) -> dict:
+    n = 100_000 if quick else 400_000
+    monitor = Monitor()
+
+    def bump():
+        for i in range(n):
+            monitor.counter("plain").inc()
+            monitor.counter("labeled", kind="a" if i & 1 else "b").inc()
+
+    _, wall = _timed(bump)
+    ops = 2 * n
+    return {"ops": ops, "wall_clock_s": wall, "ops_per_sec": ops / wall}
+
+
+def micro_fastcopy(quick: bool) -> dict:
+    n = 5_000 if quick else 20_000
+    # Shaped like the social-network store values: follower sets, tuple
+    # timelines, nested per-user dicts.
+    value = {
+        "followers": {f"u{i}" for i in range(40)},
+        "timeline": [(float(i), f"u{i % 7}", f"post {i}") for i in range(60)],
+        "profile": {"name": "user", "counters": [1, 2, 3], "tags": ("a", "b")},
+    }
+
+    def copy_loop():
+        for _ in range(n):
+            copy_value(value)
+
+    _, wall = _timed(copy_loop)
+    return {"ops": n, "wall_clock_s": wall, "ops_per_sec": n / wall}
+
+
+# ---------------------------------------------------------------------------
+# Determinism gate
+# ---------------------------------------------------------------------------
+
+
+def _traced_social_fingerprint(quick: bool) -> tuple:
+    system, workload = _social_system(quick, tracing=True, gate=True)
+    duration = 3.0
+    for _ in range(3):
+        system.add_client(workload, stop_at=duration)
+    system.run(until=duration)
+    return _fingerprint(system)
+
+
+def _traced_chaos_fingerprint(quick: bool) -> tuple:
+    system, workload, duration = _chaos_system(True, tracing=True)
+    for _ in range(3):
+        system.add_client(workload, stop_at=duration)
+    system.run(until=duration + 2.0)
+    return _fingerprint(system)
+
+
+def _fingerprint(system) -> tuple:
+    """(trace_jsonl, metrics_json) for one finished run."""
+    buf = io.StringIO()
+    system.tracer.export_jsonl(buf)
+    metrics = json.dumps(system.monitor.snapshot(), sort_keys=True)
+    return buf.getvalue(), metrics
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+GATE_SCENARIOS = {
+    "social_macro": _traced_social_fingerprint,
+    "chaos": _traced_chaos_fingerprint,
+}
+
+
+def run_determinism_gate(quick: bool, baseline: dict) -> tuple:
+    """Run every gated scenario twice; return (results, ok).
+
+    ``ok`` is False when any repeat pair differs — the hard failure CI
+    acts on.  Baseline digest mismatches are recorded per scenario but
+    only fail under ``--strict-baseline``.
+    """
+    results = {}
+    ok = True
+    base_gate = (baseline or {}).get("determinism", {})
+    for name, runner in GATE_SCENARIOS.items():
+        trace_a, metrics_a = runner(quick)
+        trace_b, metrics_b = runner(quick)
+        identical = trace_a == trace_b and metrics_a == metrics_b
+        ok = ok and identical
+        entry = {
+            "repeat_identical": identical,
+            "trace_records": trace_a.count("\n"),
+            "trace_sha256": _sha256(trace_a),
+            "metrics_sha256": _sha256(metrics_a),
+        }
+        base_entry = base_gate.get(name)
+        if base_entry:
+            entry["matches_baseline"] = (
+                base_entry.get("trace_sha256") == entry["trace_sha256"]
+                and base_entry.get("metrics_sha256") == entry["metrics_sha256"]
+            )
+        results[name] = entry
+    return results, ok
+
+
+# ---------------------------------------------------------------------------
+# Baseline bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def default_baseline_path() -> Path:
+    """``benchmarks/perf/baseline.json`` in the repo checkout."""
+    return (
+        Path(__file__).resolve().parents[3] / "benchmarks" / "perf" / "baseline.json"
+    )
+
+
+def load_baseline(path: Path, quick: bool) -> dict:
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text())
+    section = data.get("quick" if quick else "full", {})
+    if section.get("schema") != SCHEMA_VERSION:
+        return {}
+    return section
+
+
+def save_baseline(path: Path, quick: bool, section: dict) -> None:
+    data = {}
+    if path.is_file():
+        data = json.loads(path.read_text())
+    data["quick" if quick else "full"] = section
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def compare_to_baseline(scenarios: dict, baseline: dict) -> dict:
+    """events/sec improvement per macro scenario vs. the recorded
+    pre-optimization baseline (positive = faster now)."""
+    comparison = {}
+    for name in ("social_macro", "tpcc", "chaos"):
+        base = (baseline.get("scenarios", {}) or {}).get(name)
+        current = scenarios.get(name)
+        if not base or not current:
+            continue
+        before = base.get("events_per_sec")
+        after = current.get("events_per_sec")
+        if not before or not after:
+            continue
+        comparison[name] = {
+            "baseline_events_per_sec": before,
+            "events_per_sec": after,
+            "improvement": after / before - 1.0,
+        }
+    return comparison
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the pinned wall-clock benchmark suite."
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke scale (~30 s)"
+    )
+    parser.add_argument(
+        "--out",
+        default=".",
+        help="directory to write BENCH_<date>.json into (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON path (default: benchmarks/perf/baseline.json)",
+    )
+    parser.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="rewrite this mode's baseline section from this run",
+    )
+    parser.add_argument(
+        "--skip-macro",
+        action="store_true",
+        help="run only the determinism gate and micro-benchmarks",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="also fail when trace digests differ from the baseline's",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else default_baseline_path()
+    )
+    baseline = load_baseline(baseline_path, args.quick)
+
+    scenarios: dict = {}
+    if not args.skip_macro:
+        for name, runner in (
+            ("social_macro", run_social_macro),
+            ("tpcc", run_tpcc),
+            ("chaos", run_chaos),
+        ):
+            print(f"[perf] running {name} ...", flush=True)
+            scenarios[name] = runner(args.quick)
+            print(
+                f"[perf]   {scenarios[name]['events_per_sec']:,.0f} events/s "
+                f"in {scenarios[name]['wall_clock_s']:.2f}s",
+                flush=True,
+            )
+
+    micro = {}
+    for name, runner in (
+        ("event_dispatch", micro_event_dispatch),
+        ("network_send", micro_network_send),
+        ("monitor_counters", micro_monitor_counters),
+        ("fastcopy", micro_fastcopy),
+    ):
+        print(f"[perf] running micro.{name} ...", flush=True)
+        micro[name] = runner(args.quick)
+        print(f"[perf]   {micro[name]['ops_per_sec']:,.0f} ops/s", flush=True)
+    scenarios["micro"] = micro
+
+    print("[perf] running determinism gate ...", flush=True)
+    determinism, gate_ok = run_determinism_gate(args.quick, baseline)
+    for name, entry in determinism.items():
+        status = "ok" if entry["repeat_identical"] else "MISMATCH"
+        extra = ""
+        if "matches_baseline" in entry:
+            extra = (
+                ", matches baseline"
+                if entry["matches_baseline"]
+                else ", DIFFERS FROM BASELINE"
+            )
+        print(f"[perf]   {name}: repeat {status}{extra}", flush=True)
+
+    comparison = compare_to_baseline(scenarios, baseline)
+    for name, row in comparison.items():
+        print(
+            f"[perf] {name}: {row['improvement']:+.1%} events/s vs baseline",
+            flush=True,
+        )
+
+    date = time.strftime("%Y-%m-%d")
+    report = {
+        "schema": SCHEMA_VERSION,
+        "date": date,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": scenarios,
+        "determinism": determinism,
+        "baseline": baseline or None,
+        "comparison": comparison,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"BENCH_{date}.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[perf] wrote {out_path}", flush=True)
+
+    if args.rebaseline:
+        section = {
+            "schema": SCHEMA_VERSION,
+            "recorded": date,
+            "python": platform.python_version(),
+            "scenarios": {
+                k: v for k, v in scenarios.items() if k != "micro"
+            },
+            "micro": scenarios.get("micro", {}),
+            "determinism": determinism,
+        }
+        save_baseline(baseline_path, args.quick, section)
+        print(f"[perf] baseline rewritten: {baseline_path}", flush=True)
+
+    if not gate_ok:
+        print("[perf] DETERMINISM GATE FAILED", file=sys.stderr)
+        return 1
+    if args.strict_baseline and any(
+        entry.get("matches_baseline") is False for entry in determinism.values()
+    ):
+        print("[perf] baseline digest mismatch (strict)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

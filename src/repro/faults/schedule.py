@@ -95,9 +95,12 @@ class FaultEvent:
                 raise ValueError(
                     f"{self.kind} duration must be positive, got {duration}"
                 )
-            if self.kind == "loss_burst" and not 0.0 <= amount <= 1.0:
+            # Same domain as Network.loss_probability / schedule_loss_burst:
+            # [0, 1).  Probability 1.0 is rejected here too, or a schedule
+            # that validates at build time would raise mid-run at fire time.
+            if self.kind == "loss_burst" and not 0.0 <= amount < 1.0:
                 raise ValueError(
-                    f"loss_burst probability must be in [0, 1], got {amount}"
+                    f"loss_burst probability must be in [0, 1), got {amount}"
                 )
             if self.kind == "delay_spike" and amount < 0:
                 raise ValueError(

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MulticastMessage:
     """An application message multicast to a set of groups.
 
@@ -48,7 +48,7 @@ class MulticastMessage:
         return None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OrderEvent:
     """Group-log event: locally order ``message`` and assign a timestamp."""
 
@@ -59,7 +59,7 @@ class OrderEvent:
         return f"ord:{self.message.uid}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TsEvent:
     """Group-log event: a remote group's timestamp for a pending message."""
 
@@ -72,7 +72,7 @@ class TsEvent:
         return f"ts:{self.msg_uid}:{self.from_group}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemoteTs:
     """Replica-to-replica notification carrying a group timestamp.
 

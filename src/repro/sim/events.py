@@ -4,12 +4,22 @@ The simulator is a priority queue of timestamped callbacks.  Ties on the
 timestamp are broken by a monotonically increasing sequence number so the
 execution order of simultaneous events is deterministic and insertion
 ordered.
+
+Hot-path layout: the heap stores ``(time, seq, event)`` tuples so
+ordering uses C-level tuple comparison instead of a Python ``__lt__``
+call per sift step.  Cancelled events are skipped when popped and
+lazily compacted in bulk once they outnumber live events — ordering of
+live events is untouched by compaction, so seeded runs replay
+byte-identically (see DESIGN.md §7, "Virtual-time semantics").
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Optional
+
+#: Compact the heap only past this size — tiny heaps are not worth it.
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
@@ -21,21 +31,38 @@ class Event:
 
     Events are created through :meth:`Simulator.schedule` and can be
     cancelled with :meth:`Simulator.cancel` (or :meth:`Event.cancel`).
-    Cancelled events stay in the heap but are skipped when popped.
+    Cancelled events stay in the heap but are skipped when popped (and
+    reclaimed in bulk by lazy compaction).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: Owning simulator while the event sits in its heap; cleared on
+        #: pop so a late ``cancel()`` of an already-fired event does not
+        #: corrupt the live-event accounting.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark this event so it will not fire."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -59,11 +86,15 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        #: Heap of (time, seq, Event) entries (tuple comparison never
+        #: reaches the Event: seq is unique).
+        self._heap: list[tuple] = []
         self._now = 0.0
         self._seq = 0
         self._running = False
         self._stopped = False
+        #: Cancelled events still sitting in the heap.
+        self._cancelled = 0
         self.events_processed = 0
 
     @property
@@ -78,18 +109,44 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self._now + delay, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(self._now + delay, seq, fn, args, self)
+        heapq.heappush(self._heap, (event.time, seq, event))
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
-        return self.schedule(time - self._now, fn, *args)
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``.
+
+        ``time`` values derived arithmetically from ``now`` can carry a
+        microscopic negative float residue (e.g. ``(now + d) - d`` a few
+        ulps below ``now``); deltas in ``[-1e-12, 0]`` are clamped to
+        zero instead of raising :class:`SimulationError`.
+        """
+        delay = time - self._now
+        if -1e-12 <= delay < 0.0:
+            delay = 0.0
+        return self.schedule(delay, fn, *args)
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
         event.cancel()
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel` for events
+        still in the heap; triggers lazy compaction once cancelled
+        entries outnumber live ones."""
+        self._cancelled += 1
+        if self._cancelled >= _COMPACT_MIN and self._cancelled * 2 >= len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.  Live events keep
+        their (time, seq) keys, so pop order — and therefore any seeded
+        run — is unaffected."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def stop(self) -> None:
         """Stop the run loop after the current event finishes."""
@@ -97,9 +154,11 @@ class Simulator:
 
     def peek_time(self) -> Optional[float]:
         """Return the virtual time of the next pending event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        return heap[0][0] if heap else None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Process events until the heap drains, ``until`` is reached, or
@@ -107,8 +166,19 @@ class Simulator:
         by this call.
 
         When ``until`` is given the clock is advanced to exactly ``until``
-        even if the last event fires earlier, so repeated ``run`` calls
-        tile time contiguously.
+        if (and only if) the heap is genuinely drained past it, so
+        repeated ``run(until=...)`` calls tile time contiguously.  When
+        the loop exits early — via ``max_events`` or :meth:`stop` — with
+        live events still queued at or before ``until``, the clock stays
+        at the last fired event so virtual time never moves backwards on
+        the next call (see DESIGN.md, "Virtual-time semantics").
+
+        The clock is updated *before* each callback runs, and the
+        processed counters before control transfers to it, so an
+        exception escaping a callback leaves the simulator consistent:
+        ``now`` equals the failing event's time, the event counts include
+        it, and ``run`` may be called again to continue with the
+        remaining events.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
@@ -116,26 +186,34 @@ class Simulator:
         self._stopped = False
         processed = 0
         try:
+            # self._heap is re-read every iteration on purpose: a
+            # callback may cancel events and trigger compaction, which
+            # replaces the list object.
             while self._heap and not self._stopped:
-                event = self._heap[0]
+                time_, _seq, event = self._heap[0]
                 if event.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled -= 1
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time_ > until:
                     break
                 if max_events is not None and processed >= max_events:
                     break
                 heapq.heappop(self._heap)
-                self._now = event.time
-                event.fn(*event.args)
+                event._sim = None
+                self._now = time_
                 processed += 1
                 self.events_processed += 1
+                event.fn(*event.args)
             if until is not None and not self._stopped and self._now < until:
-                self._now = until
+                next_live = self.peek_time()
+                if next_live is None or next_live > until:
+                    self._now = until
             return processed
         finally:
             self._running = False
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1):
+        maintained from the heap size and the cancelled-entry count."""
+        return len(self._heap) - self._cancelled

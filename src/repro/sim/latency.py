@@ -12,6 +12,11 @@ import math
 import random
 
 
+def _norm_cdf(z: float) -> float:
+    """Standard normal CDF via the error function."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
 class LatencyModel:
     """Base class: callable returning a one-way delay in seconds."""
 
@@ -83,7 +88,29 @@ class LogNormalLatency(LatencyModel):
         return max(self.floor, rng.lognormvariate(self._mu, self.sigma))
 
     def mean(self) -> float:
-        return math.exp(self._mu + self.sigma**2 / 2.0)
+        """Expected delay of the *floored* distribution.
+
+        Samples are ``max(floor, X)`` with ``X`` log-normal, so the mean
+        is not the plain log-normal mean ``exp(mu + sigma^2/2)`` — the
+        floor soaks up the left tail::
+
+            E[max(f, X)] = f * P(X <= f) + E[X; X > f]
+                         = f * Phi((ln f - mu) / sigma)
+                           + exp(mu + sigma^2/2) * Phi((mu + sigma^2 - ln f) / sigma)
+
+        where ``Phi`` is the standard normal CDF.  Ignoring the floor
+        understates the expectation that timeout/admission heuristics
+        consume (for ``lan_default()`` the error is small but real).
+        """
+        untruncated = math.exp(self._mu + self.sigma**2 / 2.0)
+        if self.floor <= 0.0:
+            return untruncated
+        if self.sigma == 0.0:
+            return max(self.floor, self.median)
+        log_floor = math.log(self.floor)
+        below = _norm_cdf((log_floor - self._mu) / self.sigma)
+        above = _norm_cdf((self._mu + self.sigma**2 - log_floor) / self.sigma)
+        return self.floor * below + untruncated * above
 
     def __repr__(self) -> str:
         return f"LogNormalLatency(median={self.median}, sigma={self.sigma})"

@@ -224,29 +224,38 @@ class Monitor:
         self._histograms: dict[str, Histogram] = {}
         self._series: dict[str, TimeSeries] = {}
 
+    # The accessors below are on the per-event hot path (actors resolve
+    # counters by name on every increment), so the common cases — no
+    # labels, metric already registered — do a single dict probe and
+    # skip the label-suffix rendering entirely.
+
     def counter(self, name: str, **labels) -> Counter:
-        key = name + _label_suffix(labels)
-        if key not in self._counters:
-            self._counters[key] = Counter(name, labels)
-        return self._counters[key]
+        key = name + _label_suffix(labels) if labels else name
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter(name, labels)
+        return metric
 
     def gauge(self, name: str, **labels) -> Gauge:
-        key = name + _label_suffix(labels)
-        if key not in self._gauges:
-            self._gauges[key] = Gauge(name, labels)
-        return self._gauges[key]
+        key = name + _label_suffix(labels) if labels else name
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge(name, labels)
+        return metric
 
     def histogram(self, name: str, **labels) -> Histogram:
-        key = name + _label_suffix(labels)
-        if key not in self._histograms:
-            self._histograms[key] = Histogram(name, labels)
-        return self._histograms[key]
+        key = name + _label_suffix(labels) if labels else name
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(name, labels)
+        return metric
 
     def series(self, name: str, width: float = 1.0, **labels) -> TimeSeries:
-        key = name + _label_suffix(labels)
-        if key not in self._series:
-            self._series[key] = TimeSeries(name, width, labels)
-        return self._series[key]
+        key = name + _label_suffix(labels) if labels else name
+        metric = self._series.get(key)
+        if metric is None:
+            metric = self._series[key] = TimeSeries(name, width, labels)
+        return metric
 
     def counters(self) -> dict[str, int]:
         return {key: c.value for key, c in self._counters.items()}

@@ -47,6 +47,10 @@ class Network:
         RNG used for latency samples and loss draws; pass a seeded stream.
     loss_probability:
         Independent probability that any one message is silently dropped.
+        Must be in ``[0, 1)``: probability 1.0 (certain loss) is rejected
+        everywhere — model a fully dead link with :meth:`cut` instead.
+        The same domain applies to :meth:`schedule_loss_burst` and the
+        fault-schedule validator.
     monitor:
         Optional metrics registry; when given, drops are also counted
         per reason under the labeled ``net_drop`` counter
@@ -66,10 +70,13 @@ class Network:
         self.sim = sim
         self.default_latency = default_latency or ConstantLatency(0.0005)
         self.rng = rng or random.Random(0)
-        self.loss_probability = loss_probability
+        self._loss_probability = loss_probability
         self.monitor = monitor
         self._actors: dict[str, Actor] = {}
         self._pair_latency: dict[tuple[str, str], LatencyModel] = {}
+        #: Memoized (src, dst) -> model resolution; cleared whenever an
+        #: override is (re)installed.
+        self._latency_cache: dict[tuple[str, str], LatencyModel] = {}
         self._cut_links: set[frozenset[str]] = set()
         self._directed_cuts: set[tuple[str, str]] = set()
         self._loss_bursts: list[tuple[float, float, float]] = []
@@ -79,6 +86,40 @@ class Network:
         self.messages_dropped = 0
         self.bytes_sent = 0
         self.drops_by_reason: dict[str, int] = {}
+        #: Memoized labeled drop counters (Monitor.counter re-resolves the
+        #: labeled key on every call otherwise).
+        self._drop_counters: dict[str, Any] = {}
+        self._refresh_fast_path()
+
+    def _refresh_fast_path(self) -> None:
+        """(Re)decide whether ``send`` may skip the chaos checks.
+
+        The fast path is valid only while nothing can drop or delay a
+        message beyond its latency sample: no base loss, no scheduled
+        bursts or spikes, no cuts.  It draws exactly the RNG values the
+        general path would (the loss draw is skipped either way when the
+        effective probability is 0), so toggling it never perturbs a
+        seeded run.
+        """
+        self._fast_path = (
+            self._loss_probability == 0.0
+            and not self._loss_bursts
+            and not self._delay_spikes
+            and not self._cut_links
+            and not self._directed_cuts
+        )
+
+    @property
+    def loss_probability(self) -> float:
+        """Independent per-message drop probability, in ``[0, 1)``."""
+        return self._loss_probability
+
+    @loss_probability.setter
+    def loss_probability(self, value: float) -> None:
+        if not 0.0 <= value < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        self._loss_probability = value
+        self._refresh_fast_path()
 
     # -- membership ---------------------------------------------------------
 
@@ -106,6 +147,7 @@ class Network:
         """Override latency for both directions between ``a`` and ``b``."""
         self._pair_latency[(a, b)] = model
         self._pair_latency[(b, a)] = model
+        self._latency_cache.clear()
 
     def _latency_for(self, src: str, dst: str) -> LatencyModel:
         return self._pair_latency.get((src, dst), self.default_latency)
@@ -118,6 +160,7 @@ class Network:
             if name not in self._actors:
                 raise NetworkPartitionError(f"unknown actor {name!r}")
         self._cut_links.add(frozenset((a, b)))
+        self._fast_path = False
 
     def heal(self, a: str, b: str) -> None:
         """Restore the link between ``a`` and ``b``."""
@@ -125,6 +168,7 @@ class Network:
             if name not in self._actors:
                 raise NetworkPartitionError(f"unknown actor {name!r}")
         self._cut_links.discard(frozenset((a, b)))
+        self._refresh_fast_path()
 
     def partition_groups(self, side_a: list[str], side_b: list[str]) -> None:
         """Cut every link crossing the two sides."""
@@ -143,16 +187,19 @@ class Network:
             if name not in self._actors:
                 raise NetworkPartitionError(f"unknown actor {name!r}")
         self._directed_cuts.add((src, dst))
+        self._fast_path = False
 
     def heal_oneway(self, src: str, dst: str) -> None:
         for name in (src, dst):
             if name not in self._actors:
                 raise NetworkPartitionError(f"unknown actor {name!r}")
         self._directed_cuts.discard((src, dst))
+        self._refresh_fast_path()
 
     def heal_all(self) -> None:
         self._cut_links.clear()
         self._directed_cuts.clear()
+        self._refresh_fast_path()
 
     def link_up(self, a: str, b: str) -> bool:
         return (
@@ -176,6 +223,7 @@ class Network:
         if duration <= 0:
             raise ValueError("burst duration must be positive")
         self._loss_bursts.append((start, start + duration, probability))
+        self._fast_path = False
 
     def schedule_delay_spike(self, start: float, duration: float, extra: float) -> None:
         """Add ``extra`` seconds of one-way latency to every message sent
@@ -186,6 +234,7 @@ class Network:
         if duration <= 0:
             raise ValueError("spike duration must be positive")
         self._delay_spikes.append((start, start + duration, extra))
+        self._fast_path = False
 
     def _effective_loss(self, now: float) -> tuple[float, str]:
         """Return the loss probability in force at ``now`` and the drop
@@ -209,7 +258,11 @@ class Network:
         self.messages_dropped += 1
         self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
         if self.monitor is not None:
-            self.monitor.counter("net_drop", reason=reason).inc()
+            counter = self._drop_counters.get(reason)
+            if counter is None:
+                counter = self.monitor.counter("net_drop", reason=reason)
+                self._drop_counters[reason] = counter
+            counter.inc()
 
     def send(self, src: str, dst: str, message: Any, size: int = 1) -> None:
         """Queue ``message`` for delivery from ``src`` to ``dst``.
@@ -223,6 +276,18 @@ class Network:
         if dst not in self._actors:
             self._drop("unknown_destination")
             return
+        pair = (src, dst)
+        if self._fast_path:
+            # Nothing configured can drop or delay this message beyond
+            # its latency sample; skip the cut/burst/spike scans.  The
+            # general path below draws no extra RNG values in this state,
+            # so both paths consume the seeded stream identically.
+            model = self._latency_cache.get(pair)
+            if model is None:
+                model = self._pair_latency.get(pair, self.default_latency)
+                self._latency_cache[pair] = model
+            self.sim.schedule(model.sample(self.rng), self._deliver, src, dst, message)
+            return
         if not self.link_up(src, dst):
             self._drop("link_cut")
             return
@@ -230,7 +295,11 @@ class Network:
         if p > 0 and self.rng.random() < p:
             self._drop(loss_reason)
             return
-        delay = self._latency_for(src, dst).sample(self.rng)
+        model = self._latency_cache.get(pair)
+        if model is None:
+            model = self._pair_latency.get(pair, self.default_latency)
+            self._latency_cache[pair] = model
+        delay = model.sample(self.rng)
         delay += self._extra_delay(self.sim.now)
         self.sim.schedule(delay, self._deliver, src, dst, message)
 

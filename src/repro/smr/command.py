@@ -22,7 +22,7 @@ class CommandKind(enum.Enum):
     DELETE = "delete"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Command:
     """An application command.
 
@@ -47,7 +47,7 @@ class ReplyStatus(enum.Enum):
     RETRY = "retry"  # addressed partition not responsible; refresh cache
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Reply:
     """A server's (or the oracle's) answer to a client command.
 

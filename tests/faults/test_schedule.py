@@ -174,11 +174,17 @@ class TestTrafficFaultValidation:
         with pytest.raises(ValueError, match="probability"):
             FaultEvent(1.0, "loss_burst", (1.0, 1.5))
 
+    def test_loss_burst_rejects_probability_one(self):
+        """Certain loss is outside the domain everywhere ([0, 1), same as
+        Network); model a dead link with a cut instead."""
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            FaultEvent(1.0, "loss_burst", (2.0, 1.0))
+
     def test_delay_spike_rejects_negative_latency(self):
         with pytest.raises(ValueError, match="non-negative"):
             FaultEvent(1.0, "delay_spike", (1.0, -0.1))
 
     def test_valid_traffic_faults_accepted(self):
         FaultEvent(1.0, "loss_burst", (2.0, 0.0))
-        FaultEvent(1.0, "loss_burst", (2.0, 1.0))
+        FaultEvent(1.0, "loss_burst", (2.0, 0.999))
         FaultEvent(1.0, "delay_spike", (0.5, 0.0))

@@ -1,6 +1,8 @@
 """Unit tests for the event heap and virtual clock."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim import Simulator, SimulationError
 
@@ -152,3 +154,135 @@ def test_events_processed_accumulates():
         sim.schedule(float(i), lambda: None)
     sim.run()
     assert sim.events_processed == 5
+
+
+# ---------------------------------------------------------------------------
+# Clock monotonicity: run(until, max_events) must never move time backwards
+# ---------------------------------------------------------------------------
+
+
+def test_max_events_exit_does_not_jump_clock_past_live_events():
+    """Regression: ``run(until=10, max_events=2)`` used to advance the
+    clock to 10.0 with a live event still queued at t=6, so the next
+    ``run()`` moved virtual time *backwards* (10.0 -> 6.0)."""
+    sim = Simulator()
+    for t in (2.0, 4.0, 6.0):
+        sim.schedule(t, lambda: None)
+    sim.run(until=10.0, max_events=2)
+    assert sim.now == 4.0  # NOT 10.0: an event at 6.0 is still live
+    before = sim.now
+    sim.run()
+    assert sim.now >= before
+    assert sim.now == 6.0
+
+
+def test_stop_exit_does_not_jump_clock_past_live_events():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: sim.stop())
+    sim.schedule(4.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 1.0
+    sim.run()
+    assert sim.now == 4.0
+
+
+def test_max_events_exit_with_drained_heap_still_tiles_to_until():
+    """When the heap IS drained past ``until``, the clock still tiles
+    forward exactly as before — even if ``max_events`` was given."""
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(20.0, lambda: None)
+    sim.run(until=10.0, max_events=5)
+    assert sim.now == 10.0
+
+
+def test_max_events_exit_ignores_cancelled_events_before_until():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    doomed = sim.schedule(6.0, lambda: None)
+    doomed.cancel()
+    sim.run(until=10.0, max_events=1)
+    assert sim.now == 10.0  # only a cancelled event remained before until
+
+
+def test_callback_exception_leaves_consistent_state():
+    """An exception escaping a callback must not corrupt ``now`` or leave
+    the simulator marked running; the run can be resumed."""
+    sim = Simulator()
+    fired = []
+
+    def boom():
+        raise RuntimeError("callback failure")
+
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, boom)
+    sim.schedule(3.0, fired.append, "b")
+    with pytest.raises(RuntimeError):
+        sim.run(until=10.0)
+    assert sim.now == 2.0  # the failing event's time, not 10.0
+    assert sim.events_processed == 2  # the failing event is counted
+    processed = sim.run(until=10.0)  # not "already running"; resumes
+    assert processed == 1
+    assert fired == ["a", "b"]
+    assert sim.now == 10.0
+
+
+def test_schedule_at_clamps_negative_float_residue():
+    """``schedule_at(t)`` with ``t`` an ulp below ``now`` (arithmetic
+    residue, not genuine past scheduling) must not raise."""
+    sim = Simulator()
+    sim.schedule(0.1 + 0.2, lambda: None)  # 0.30000000000000004
+    sim.run()
+    assert sim.now > 0.3  # the residue case: 0.3 - now is ~ -4e-17
+    fired = []
+    sim.schedule_at(0.3, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now >= 0.3
+
+
+def test_schedule_at_still_rejects_genuine_past_times():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(4.0, lambda: None)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    runs=st.lists(
+        st.one_of(
+            st.tuples(st.just("until"), st.floats(min_value=0.0, max_value=120.0)),
+            st.tuples(st.just("max_events"), st.integers(min_value=0, max_value=10)),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_interleaved_runs_never_decrease_now_and_fire_in_order(times, runs):
+    """Property: any interleaving of ``run(until=...)`` and
+    ``run(max_events=...)`` observes a non-decreasing clock, and events
+    fire in (time, seq) order."""
+    sim = Simulator()
+    fired = []
+    for i, t in enumerate(sorted(times)):
+        sim.schedule(t, lambda t=t, i=i: fired.append((t, i)))
+    observed = [sim.now]
+    for kind, arg in runs:
+        if kind == "until":
+            if arg < sim.now:
+                continue  # tiling backwards is a caller error by contract
+            sim.run(until=arg)
+        else:
+            sim.run(max_events=arg)
+        observed.append(sim.now)
+    sim.run()  # drain
+    observed.append(sim.now)
+    assert observed == sorted(observed), f"clock went backwards: {observed}"
+    assert fired == sorted(fired), "events fired out of (time, seq) order"

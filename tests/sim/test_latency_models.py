@@ -55,6 +55,52 @@ class TestLogNormalLatency:
         model = LogNormalLatency(median=0.01, sigma=0.5)
         assert model.mean() > 0.01  # right-skewed tail
 
+    def test_mean_accounts_for_floor(self):
+        """The analytic mean must match the empirical mean of floored
+        samples — with a floor above the median the plain log-normal
+        mean understates it badly."""
+        import math
+
+        model = LogNormalLatency(median=1.0, sigma=0.5, floor=1.5)
+        rng = random.Random(7)
+        n = 200_000
+        empirical = sum(model.sample(rng) for _ in range(n)) / n
+        assert model.mean() == pytest.approx(empirical, rel=0.01)
+        untruncated = math.exp(math.log(1.0) + 0.5**2 / 2)
+        assert model.mean() > untruncated  # floor only raises the mean
+
+    def test_mean_with_floor_zero_is_plain_lognormal(self):
+        import math
+
+        model = LogNormalLatency(median=0.01, sigma=0.4)
+        assert model.mean() == pytest.approx(
+            math.exp(math.log(0.01) + 0.4**2 / 2)
+        )
+
+    def test_mean_with_negligible_floor_close_to_plain(self):
+        """A floor far below the distribution's mass barely moves the
+        mean (lan_default's floor regime)."""
+        import math
+
+        model = lan_default()  # median=0.00035, sigma=0.35, floor=0.00008
+        plain = math.exp(math.log(0.00035) + 0.35**2 / 2)
+        assert model.mean() >= plain
+        assert model.mean() == pytest.approx(plain, rel=1e-4)
+
+    def test_mean_sigma_zero_with_floor(self):
+        model = LogNormalLatency(median=0.001, sigma=0.0, floor=0.002)
+        assert model.mean() == 0.002
+        model = LogNormalLatency(median=0.003, sigma=0.0, floor=0.002)
+        assert model.mean() == 0.003
+
+    def test_empirical_mean_with_dominant_floor(self):
+        """Floor above nearly all the mass: mean approaches the floor."""
+        model = LogNormalLatency(median=0.0001, sigma=0.1, floor=0.01)
+        rng = random.Random(9)
+        empirical = sum(model.sample(rng) for _ in range(20_000)) / 20_000
+        assert model.mean() == pytest.approx(empirical, rel=0.001)
+        assert model.mean() == pytest.approx(0.01, rel=0.01)
+
     def test_invalid_params(self):
         with pytest.raises(ValueError):
             LogNormalLatency(median=0.0)
