@@ -15,6 +15,12 @@ This package implements the paper's contribution (§4-§5):
   onto a simulated network.
 """
 
+from repro.core.admission import (
+    AdmissionController,
+    CircuitBreaker,
+    RetryBudget,
+    TokenBucket,
+)
 from repro.core.messages import (
     CreateVar,
     DeleteVar,
@@ -25,6 +31,7 @@ from repro.core.messages import (
     PartitionPlan,
     PlanTransfer,
     Prophecy,
+    ServerBusy,
     TransferFailed,
     VarReturn,
     VarTransfer,
@@ -35,6 +42,11 @@ from repro.core.client import DynaStarClient
 from repro.core.system import DynaStarSystem, SystemConfig
 
 __all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "RetryBudget",
+    "TokenBucket",
+    "ServerBusy",
     "CreateVar",
     "DeleteVar",
     "ExecCommand",

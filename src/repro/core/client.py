@@ -18,12 +18,14 @@ import random
 from collections import Counter
 from typing import Any, Optional
 
+from repro.core.admission import CircuitBreaker, RetryBudget, TokenBucket
 from repro.core.messages import (
     ExecCommand,
     GlobalCommand,
     OracleQuery,
     Prophecy,
     ProphecyStatus,
+    ServerBusy,
 )
 from repro.multicast.basecast import GroupDirectory
 from repro.multicast.messages import MulticastMessage
@@ -40,6 +42,13 @@ class Workload:
 
     def next_command(self, client: "DynaStarClient") -> Optional[Command]:
         raise NotImplementedError
+
+    def on_command_failed(
+        self, client: "DynaStarClient", command: Command, reason: str
+    ) -> None:
+        """Terminal-failure hook: ``command`` gave up (timeout budget,
+        retry budget, too many retries) and will never complete.  Drivers
+        override this to re-plan or record the loss; default is a no-op."""
 
 
 class ScriptedWorkload(Workload):
@@ -100,6 +109,14 @@ class DynaStarClient(Actor):
         backoff_factor: float = 2.0,
         max_timeout: Optional[float] = None,
         retry_jitter: float = 0.0,
+        rate_limit: Optional[float] = None,
+        rate_burst: float = 4.0,
+        retry_budget: Optional[float] = None,
+        retry_budget_ratio: float = 0.2,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown: float = 1.0,
+        breaker_jitter: float = 0.0,
+        think_time: Optional[float] = None,
         rng: Optional[random.Random] = None,
         tracer: Optional[Tracer] = None,
     ):
@@ -136,11 +153,42 @@ class DynaStarClient(Actor):
         self.retry_jitter = retry_jitter
         self.rng = rng or random.Random(0)
 
+        # Overload defenses — all opt-in (None disables), all validated
+        # eagerly by the admission constructors (ValueError on bad knobs).
+        self.rate_limiter = (
+            TokenBucket(rate_limit, rate_burst) if rate_limit is not None else None
+        )
+        self.retry_budget = (
+            RetryBudget(retry_budget, retry_budget_ratio)
+            if retry_budget is not None
+            else None
+        )
+        self.breaker = (
+            CircuitBreaker(
+                breaker_threshold,
+                breaker_cooldown,
+                jitter=breaker_jitter,
+                rng=self.rng,
+            )
+            if breaker_threshold is not None
+            else None
+        )
+        if think_time is not None and think_time <= 0:
+            raise ValueError("think_time must be positive")
+        #: Mean think time between commands (seeded exponential).  None
+        #: keeps the original closed-loop back-to-back behaviour.
+        self.think_time = think_time
+        #: Arrival-rate multiplier; the ``overload_burst`` fault raises it
+        #: to model a flash crowd and restores it when the burst ends.
+        self.load_factor = 1.0
+
         self.cache: dict[Any, str] = {}
         self.completed = 0
         self.failed = 0
         self.retries = 0
         self.timeouts = 0
+        self.busy_rejections = 0
+        self.gave_up = 0
         self.results: dict[str, Any] = {}
         self.done = False
 
@@ -149,6 +197,7 @@ class DynaStarClient(Actor):
         self._invoked_at = 0.0
         self._was_multi = False
         self._timeout_timer = None
+        self._retry_timer = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -165,10 +214,32 @@ class DynaStarClient(Actor):
         if command is None:
             self.done = True
             return
+        # Think time models arrival rate (scaled by the flash-crowd
+        # multiplier); the token bucket then throttles *new* commands —
+        # retries are governed by the retry budget instead, so the
+        # limiter cannot starve recovery.
+        delay = 0.0
+        if self.think_time is not None:
+            delay = self.rng.expovariate(self.load_factor / self.think_time)
+        if self.rate_limiter is not None:
+            delay = max(delay, self.rate_limiter.reserve(self.now))
+        if delay > 0:
+            self.set_timer(delay, lambda: self._begin(command))
+        else:
+            self._begin(command)
+
+    def _begin(self, command: Command) -> None:
+        if self.done:
+            return
+        if self.stop_at is not None and self.now >= self.stop_at:
+            self.done = True
+            return
         self._current = command
         self._attempt = 0
         self._invoked_at = self.now
         self._was_multi = False
+        if self.retry_budget is not None:
+            self.retry_budget.deposit()
         if self.tracer.enabled:
             self.tracer.start_trace(
                 command.uid, self.now, client=self.name, op=command.op,
@@ -206,13 +277,111 @@ class DynaStarClient(Actor):
             )
         self._attempt += 1
         if self._attempt >= self.max_attempts:
-            self._complete(ReplyStatus.NOK, "timed out")
+            self._give_up("timed out")
+            return
+        if self.retry_budget is not None and not self.retry_budget.withdraw():
+            self._give_up("retry budget exhausted")
+            return
+        self._record_overload_signal()
+        self._issue()
+
+    # -- overload defenses ------------------------------------------------------
+
+    def _record_overload_signal(self) -> None:
+        """Feed one busy/timeout signal to the breaker; when it trips,
+        arm the (seeded, deterministic) half-open probe timer."""
+        if self.breaker is None:
+            return
+        cooldown = self.breaker.record_failure()
+        if cooldown is not None:
+            self.monitor.counter("admission", event="breaker_trip").inc()
+            if self.tracer.enabled and self._current is not None:
+                self.tracer.event(
+                    self._current.uid, "breaker-open", self.now,
+                    client=self.name, cooldown=cooldown,
+                )
+            self.set_timer(cooldown, self._breaker_probe)
+
+    def _breaker_probe(self) -> None:
+        if self.breaker is None or self.done:
+            return
+        self.breaker.half_open()
+        if self._current is not None and (
+            self._retry_timer is None or not self._retry_timer.active
+        ):
+            self._issue()
+
+    def _on_busy(self, busy: ServerBusy) -> None:
+        command = self._current
+        # Only the current attempt's backpressure matters; every replica
+        # of the refusing partition sends one, the first wins.
+        if (
+            command is None
+            or busy.uid != command.uid
+            or busy.attempt != self._attempt
+        ):
+            return
+        self._cancel_timeout()
+        self.busy_rejections += 1
+        self.monitor.counter("admission", event="client_busy").inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                command.uid, "backpressure", self.now,
+                attempt=busy.attempt, partition=busy.partition,
+                reason=busy.reason,
+            )
+        self._attempt += 1
+        if self._attempt >= self.max_attempts:
+            self._give_up("server busy")
+            return
+        if self.retry_budget is not None and not self.retry_budget.withdraw():
+            self._give_up("retry budget exhausted")
+            return
+        self._record_overload_signal()
+        # Retry-After-aware backoff: at least the server's hint, growing
+        # like the timeout schedule under repeated pushback.
+        base = (
+            self.request_timeout
+            if self.request_timeout is not None
+            else busy.retry_after
+        )
+        delay = base * self.backoff_factor**self._attempt
+        if self.max_timeout is not None:
+            delay = min(delay, self.max_timeout)
+        delay = max(delay, busy.retry_after)
+        if self.retry_jitter > 0:
+            delay *= 1.0 + self.rng.uniform(0.0, self.retry_jitter)
+        self._retry_timer = self.set_timer(delay, self._reissue)
+
+    def _reissue(self) -> None:
+        self._retry_timer = None
+        if self.done or self._current is None:
             return
         self._issue()
+
+    def _give_up(self, reason: str) -> None:
+        """Terminal failure: stop retrying, count it, surface it to the
+        workload driver, move on."""
+        self.gave_up += 1
+        self.monitor.counter("client", event="gave_up").inc()
+        command = self._current
+        if self.tracer.enabled and command is not None:
+            self.tracer.event(
+                command.uid, "gave-up", self.now,
+                attempt=self._attempt, reason=reason,
+            )
+        if command is not None:
+            self.workload.on_command_failed(self, command, reason)
+        self._complete(ReplyStatus.NOK, reason)
 
     # -- issuing -------------------------------------------------------------
 
     def _issue(self) -> None:
+        if self.breaker is not None and self.breaker.is_open:
+            # Hold the command until the breaker half-opens; the probe
+            # timer armed at trip time re-issues it.
+            self._cancel_timeout()
+            return
         self._arm_timeout()
         command = self._current
         submit = None
@@ -302,6 +471,8 @@ class DynaStarClient(Actor):
             self._on_prophecy(message)
         elif isinstance(message, Reply):
             self._on_reply(message)
+        elif isinstance(message, ServerBusy):
+            self._on_busy(message)
 
     def _on_prophecy(self, prophecy: Prophecy) -> None:
         command = self._current
@@ -311,6 +482,8 @@ class DynaStarClient(Actor):
             or prophecy.attempt != self._attempt
         ):
             return
+        if self.breaker is not None:
+            self.breaker.record_success()
         if self.tracer.enabled:
             self.tracer.finish(
                 command.uid, "oracle-lookup", self.now, disc=prophecy.attempt,
@@ -335,6 +508,10 @@ class DynaStarClient(Actor):
         command = self._current
         if command is None or reply.uid != command.uid:
             return
+        if self.breaker is not None:
+            # Any real server answer — OK, NOK, even a protocol RETRY —
+            # means the partition is alive and admitting; close up.
+            self.breaker.record_success()
         if reply.status == ReplyStatus.RETRY:
             # Only the current attempt's RETRY matters; a stale one from
             # an attempt we already abandoned must not burn another retry.
@@ -353,7 +530,7 @@ class DynaStarClient(Actor):
                 )
             self._attempt += 1
             if self._attempt >= self.max_attempts:
-                self._complete(ReplyStatus.NOK, "too many retries")
+                self._give_up("too many retries")
                 return
             for node in self.app.nodes_of(command):
                 self.cache.pop(node, None)
@@ -372,6 +549,11 @@ class DynaStarClient(Actor):
 
     def _complete(self, status: ReplyStatus, result: Any) -> None:
         self._cancel_timeout()
+        if self._retry_timer is not None:
+            # A late reply can land mid-backoff; the queued retry must
+            # not fire against the *next* command's attempt counter.
+            self._retry_timer.cancel()
+            self._retry_timer = None
         command = self._current
         latency = self.now - self._invoked_at
         self._current = None

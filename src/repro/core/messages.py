@@ -142,6 +142,25 @@ class Prophecy:
 
 
 @dataclass(frozen=True, slots=True)
+class ServerBusy:
+    """Replica -> client: admission refused; back off and retry.
+
+    Sent *instead of* accepting a command into the consensus log when
+    the replica's admission queue is past its bound (queue-based load
+    leveling).  ``retry_after`` is the server's backpressure hint — the
+    client waits at least this long before the retry.  ``reason``
+    distinguishes priority shedding of cheap-to-retry traffic
+    (``"shed"``) from a queue that is full outright (``"busy"``).
+    """
+
+    uid: str  # command uid
+    attempt: int
+    partition: str
+    retry_after: float
+    reason: str = "busy"
+
+
+@dataclass(frozen=True, slots=True)
 class VarTransfer:
     """Source partition -> target partition: borrowed variables for a
     multi-partition command.

@@ -31,6 +31,8 @@ import hashlib
 from collections import Counter
 from typing import Any, Optional
 
+from repro.consensus.messages import Submit
+from repro.core.admission import ADMIT, AdmissionController
 from repro.core.messages import (
     CreateVar,
     DeleteVar,
@@ -42,9 +44,10 @@ from repro.core.messages import (
     PlanTransfer,
     Prophecy,
     ProphecyStatus,
+    ServerBusy,
 )
 from repro.multicast.basecast import MulticastReplica
-from repro.multicast.messages import MulticastMessage
+from repro.multicast.messages import MulticastMessage, OrderEvent
 from repro.partitioning import WorkloadGraph, partition_graph
 from repro.partitioning.quality import edge_cut as quality_edge_cut
 from repro.sim.monitor import Monitor
@@ -75,6 +78,10 @@ class OracleReplica(MulticastReplica):
         imbalance: float = 0.20,
         target_policy: str = "most_nodes",
         graph_decay: float = 0.5,
+        admission_bound: Optional[int] = None,
+        admission_headroom: Optional[int] = None,
+        admission_retry_after: float = 0.05,
+        admission_ttl: float = 30.0,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -95,6 +102,19 @@ class OracleReplica(MulticastReplica):
         self.repartition_enabled = repartition_enabled and mode == "dynastar"
         self.plan_compute_cost = plan_compute_cost
         self.imbalance = imbalance
+        #: Ingress admission for client queries (None disables).  A
+        #: repartition-storming oracle sheds plain lookups first;
+        #: create/delete traffic gets the priority headroom.
+        self.admission = (
+            AdmissionController(
+                admission_bound,
+                admission_headroom,
+                admission_retry_after,
+                admission_ttl,
+            )
+            if admission_bound is not None
+            else None
+        )
 
         self.location: dict[Any, str] = {}
         self.graph = WorkloadGraph()
@@ -126,6 +146,61 @@ class OracleReplica(MulticastReplica):
         for node in assignment:
             self.graph.ensure_vertex(node)
 
+    # -- ingress admission control ----------------------------------------------
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if (
+            self.admission is not None
+            and isinstance(message, Submit)
+            and isinstance(message.value, OrderEvent)
+            and not self._admit(sender, message.value.message)
+        ):
+            return
+        super().on_message(sender, message)
+
+    def _admit(self, sender: str, msg: MulticastMessage) -> bool:
+        """Same ingress gate as the partition servers: client-originated
+        queries are bounced with ``ServerBusy`` before they enter the
+        oracle's log; replica-originated retransmits always pass."""
+        payload = msg.payload
+        if not isinstance(payload, OracleQuery) or payload.client != sender:
+            return True
+        if msg.uid in self.adelivered_uids or msg.uid in self.pending_msgs:
+            return True
+        command = payload.command
+        if command.uid in self._done_creates or command.uid in self._done_deletes:
+            return True  # replays answer from the exactly-once cache
+        priority = command.kind != CommandKind.ACCESS
+        outcome = self.admission.offer(command.uid, self.now, priority=priority)
+        if self._records_metrics:
+            self.monitor.series(
+                "admission_depth", partition=self.group
+            ).record(self.now, self.admission.depth)
+        if outcome == ADMIT:
+            return True
+        # Per-replica decision, one real ServerBusy each: every replica
+        # counts its own refusals (cf. PartitionServer._refuse).
+        self.monitor.counter(
+            "admission", partition=self.group, outcome=outcome
+        ).inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                command.uid, outcome, self.now,
+                partition=self.group, replica=self.index,
+                attempt=payload.attempt,
+            )
+        self.send(
+            payload.client,
+            ServerBusy(
+                uid=command.uid,
+                attempt=payload.attempt,
+                partition=self.group,
+                retry_after=self.admission.retry_after,
+                reason=outcome,
+            ),
+        )
+        return False
+
     # -- a-delivery dispatch ---------------------------------------------------
 
     def adeliver(self, msg: MulticastMessage) -> None:
@@ -144,6 +219,10 @@ class OracleReplica(MulticastReplica):
     # -- prophecies --------------------------------------------------------------
 
     def _on_query(self, query: OracleQuery) -> None:
+        if self.admission is not None:
+            # Answered at this log position (whatever the outcome); the
+            # slot frees for the next query.
+            self.admission.release(query.command.uid)
         if self._records_metrics:
             self.monitor.series("oracle_queries").record(self.now)
             self.monitor.counter("oracle_queries_total").inc()

@@ -28,6 +28,8 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Any, Optional
 
+from repro.consensus.messages import Submit
+from repro.core.admission import ADMIT, AdmissionController
 from repro.core.messages import (
     CreateVar,
     DeleteVar,
@@ -38,12 +40,13 @@ from repro.core.messages import (
     PlanTransfer,
     ReliableAck,
     ReliableMsg,
+    ServerBusy,
     TransferFailed,
     VarReturn,
     VarTransfer,
 )
 from repro.multicast.basecast import MulticastReplica
-from repro.multicast.messages import MulticastMessage
+from repro.multicast.messages import MulticastMessage, OrderEvent
 from repro.sim.monitor import Monitor
 from repro.smr.command import Reply, ReplyStatus
 from repro.smr.statemachine import AppStateMachine, VariableStore
@@ -68,6 +71,10 @@ class PartitionServer(MulticastReplica):
         hints_enabled: bool = True,
         service_time: float = 0.0,
         retransmit_period: float = 0.5,
+        admission_bound: Optional[int] = None,
+        admission_headroom: Optional[int] = None,
+        admission_retry_after: float = 0.05,
+        admission_ttl: float = 30.0,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -83,6 +90,20 @@ class PartitionServer(MulticastReplica):
         self.service_time = service_time
         self._next_free = 0.0
         self._service_timer = None
+
+        #: Ingress admission control (queue-based load leveling); None
+        #: disables it.  Volatile by design — not checkpointed; the TTL
+        #: sweep reclaims slots a crash or give-up leaked.
+        self.admission = (
+            AdmissionController(
+                admission_bound,
+                admission_headroom,
+                admission_retry_after,
+                admission_ttl,
+            )
+            if admission_bound is not None
+            else None
+        )
 
         self.partition = self.group
         self.store = VariableStore()
@@ -209,6 +230,93 @@ class PartitionServer(MulticastReplica):
                     if var not in vars_out and var in self.store:
                         vars_out.append(var)
         return vars_out
+
+    # -- ingress admission control ----------------------------------------------
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if (
+            self.admission is not None
+            and isinstance(message, Submit)
+            and isinstance(message.value, OrderEvent)
+            and not self._admit(sender, message.value.message)
+        ):
+            return
+        super().on_message(sender, message)
+
+    def _admit(self, sender: str, msg: MulticastMessage) -> bool:
+        """Queue-based load leveling at the consensus *ingress*.
+
+        Only client-originated submissions are gated (``payload.client ==
+        sender``); protocol-internal retransmits and ordering probes come
+        from peer replicas and always pass, so a partially ordered
+        multi-group command cannot wedge behind the gate.  A refused
+        command never enters any log, which is what keeps the replicas of
+        a partition in agreement about what executes — a post-ordering
+        shed would depend on per-replica queue depth and diverge.
+        """
+        payload = msg.payload
+        if not isinstance(payload, (ExecCommand, GlobalCommand)):
+            return True
+        if payload.client != sender:
+            return True
+        cmd_uid = payload.command.uid
+        if (
+            msg.uid in self.adelivered_uids
+            or msg.uid in self.pending_msgs
+            or cmd_uid in self._exec_results
+        ):
+            # Already ordered or already answered — letting it through is
+            # cheaper than bouncing (the reply comes from the cache).
+            return True
+        multi = isinstance(payload, GlobalCommand)
+        if multi and self._has_claimed_borrows(cmd_uid):
+            # Never shed a command whose borrows are in flight: aborting
+            # a half-gathered multi-partition command costs every
+            # involved partition another round.
+            return True
+        outcome = self.admission.offer(cmd_uid, self.now, priority=multi)
+        if self._records_metrics:
+            self._pseries("admission_depth").record(self.now, self.admission.depth)
+        if outcome == ADMIT:
+            return True
+        self._refuse(payload, outcome)
+        return False
+
+    def _has_claimed_borrows(self, cmd_uid: str) -> bool:
+        return any(k[0] == cmd_uid for k in self.recv_transfers) or any(
+            k[0] == cmd_uid for k in self.recv_returns
+        )
+
+    def _refuse(self, payload, outcome: str) -> None:
+        """Bounce a refused command back to the client with Retry-After.
+
+        Unlike execution metrics (one logical event per partition, so
+        only replica 0 counts), every refusal is a distinct per-replica
+        decision and a real ``ServerBusy`` on the wire — each replica
+        counts its own."""
+        self.monitor.counter(
+            "admission", partition=self.partition, outcome=outcome
+        ).inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                payload.command.uid, outcome, self.now,
+                partition=self.partition, replica=self.index,
+                attempt=payload.attempt,
+            )
+        self.send(
+            payload.client,
+            ServerBusy(
+                uid=payload.command.uid,
+                attempt=payload.attempt,
+                partition=self.partition,
+                retry_after=self.admission.retry_after,
+                reason=outcome,
+            ),
+        )
+
+    def _admission_release(self, cmd_uid: str) -> None:
+        if self.admission is not None:
+            self.admission.release(cmd_uid)
 
     # -- a-delivery --------------------------------------------------------------
 
@@ -659,6 +767,7 @@ class PartitionServer(MulticastReplica):
                 self.now, len(pairs)
             )
             self.monitor.counter("objects_exchanged").inc(len(pairs))
+        self._admission_release(payload.command.uid)
         return True
 
     def _dssmr_as_target(self, payload: GlobalCommand) -> bool:
@@ -751,6 +860,7 @@ class PartitionServer(MulticastReplica):
         self.recv_transfers.pop(key, None)
         self.recv_returns.pop(key, None)
         self.transfer_failures.pop(key, None)
+        self._admission_release(key[0])
 
     # -- transfer plumbing ------------------------------------------------------------------
 
@@ -945,6 +1055,7 @@ class PartitionServer(MulticastReplica):
         # Every replica replies (the client dedups); get-or-create means
         # the first replica to send stamps the span's start, and the
         # client closes it on receipt.
+        self._admission_release(payload.command.uid)
         if self.tracer.enabled:
             self.tracer.begin(
                 payload.command.uid, "reply", self.now, disc=payload.attempt,

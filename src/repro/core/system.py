@@ -73,6 +73,37 @@ class SystemConfig:
     #: backoff delays (0 disables): after a partition crash, hundreds of
     #: clients time out together; jitter de-synchronizes the retry storm.
     client_retry_jitter: float = 0.1
+    #: Server-side admission bound (None disables overload protection):
+    #: each partition replica refuses client submissions past this many
+    #: admitted-but-unanswered commands, replying ``ServerBusy`` instead
+    #: of queueing without limit.
+    admission_bound: Optional[int] = None
+    #: Extra slots reserved for multi-partition commands on top of
+    #: ``admission_bound`` (None = bound // 4): singles shed first.
+    admission_headroom: Optional[int] = None
+    #: Retry-After hint carried on every ``ServerBusy``.
+    admission_retry_after: float = 0.05
+    #: Expiry for admission slots whose answer never materialized.
+    admission_ttl: float = 30.0
+    #: Oracle-side admission bound (None disables).
+    oracle_admission_bound: Optional[int] = None
+    #: Client token-bucket rate limit in commands/second (None disables)
+    #: and its burst capacity.
+    client_rate_limit: Optional[float] = None
+    client_rate_burst: float = 4.0
+    #: Client retry budget: initial balance (None disables) and the
+    #: fraction of fresh commands earned back as retry tokens.
+    client_retry_budget: Optional[float] = None
+    client_retry_budget_ratio: float = 0.2
+    #: Client circuit breaker: consecutive busy/timeout signals before
+    #: tripping (None disables), cooldown before half-opening, and a
+    #: seeded jitter fraction stretching the cooldown per client.
+    client_breaker_threshold: Optional[int] = None
+    client_breaker_cooldown: float = 1.0
+    client_breaker_jitter: float = 0.0
+    #: Mean think time between a client's commands (None = back-to-back
+    #: closed loop).  The ``overload_burst`` fault divides it.
+    client_think_time: Optional[float] = None
     #: Convenience alias for ``replica.checkpoint_interval``: checkpoint
     #: (and compact the Paxos log) every N delivered instances per group
     #: (0 disables checkpointing and snapshot-based recovery).
@@ -161,6 +192,10 @@ class DynaStarSystem:
                 imbalance=cfg.imbalance,
                 target_policy=cfg.target_policy,
                 graph_decay=cfg.graph_decay,
+                admission_bound=cfg.oracle_admission_bound,
+                admission_headroom=cfg.admission_headroom,
+                admission_retry_after=cfg.admission_retry_after,
+                admission_ttl=cfg.admission_ttl,
                 **kwargs,
             )
 
@@ -201,6 +236,10 @@ class DynaStarSystem:
             hint_period=cfg.hint_period,
             service_time=cfg.service_time,
             retransmit_period=cfg.retransmit_period,
+            admission_bound=cfg.admission_bound,
+            admission_headroom=cfg.admission_headroom,
+            admission_retry_after=cfg.admission_retry_after,
+            admission_ttl=cfg.admission_ttl,
             **kwargs,
         )
 
@@ -289,6 +328,14 @@ class DynaStarSystem:
             backoff_factor=cfg.client_backoff,
             max_timeout=cfg.client_timeout_cap,
             retry_jitter=cfg.client_retry_jitter,
+            rate_limit=cfg.client_rate_limit,
+            rate_burst=cfg.client_rate_burst,
+            retry_budget=cfg.client_retry_budget,
+            retry_budget_ratio=cfg.client_retry_budget_ratio,
+            breaker_threshold=cfg.client_breaker_threshold,
+            breaker_cooldown=cfg.client_breaker_cooldown,
+            breaker_jitter=cfg.client_breaker_jitter,
+            think_time=cfg.client_think_time,
             rng=self.seeds.rng(f"client:{name}"),
             tracer=self.tracer,
         )

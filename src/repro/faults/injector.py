@@ -170,3 +170,19 @@ class ChaosInjector:
         self.system.net.schedule_delay_spike(
             self.system.sim.now, duration, extra
         )
+
+    def _do_overload_burst(self, duration: float, factor: float) -> None:
+        """Flash crowd: multiply every client's arrival rate for a
+        window, then restore.  Multiplicative (not assignment) so
+        overlapping bursts compose and unwind cleanly; only clients with
+        a think time react — back-to-back closed-loop clients are already
+        issuing as fast as replies allow."""
+        clients = list(getattr(self.system, "clients", ()))
+        for client in clients:
+            client.load_factor *= factor
+
+        def restore() -> None:
+            for client in clients:
+                client.load_factor /= factor
+
+        self.system.sim.schedule(duration, restore)

@@ -40,12 +40,17 @@ class ChaosConfig:
     oneway_cuts: int = 1
     loss_bursts: int = 1
     delay_spikes: int = 1
+    #: Flash-crowd windows (0 keeps existing seeded schedules identical:
+    #: the generator draws nothing for a zero count).
+    overload_bursts: int = 0
     min_downtime: float = 0.5
     max_downtime: float = 2.0
     burst_probability: float = 0.2
     burst_duration: float = 1.0
     spike_extra: float = 0.01
     spike_duration: float = 1.0
+    overload_factor: float = 10.0
+    overload_duration: float = 2.0
 
     def __post_init__(self):
         if self.duration <= self.start_after:
@@ -120,6 +125,14 @@ def generate(
         schedule.at(start, "loss_burst", config.burst_duration, config.burst_probability)
     for start, _end in _windows(rng, config, config.delay_spikes):
         schedule.at(start, "delay_spike", config.spike_duration, config.spike_extra)
+    # Guarded so a zero count (the default) draws nothing from the rng,
+    # keeping pre-existing seeded schedules byte-identical.
+    if config.overload_bursts > 0:
+        for start, _end in _windows(rng, config, config.overload_bursts):
+            schedule.at(
+                start, "overload_burst",
+                config.overload_duration, config.overload_factor,
+            )
 
     return schedule
 

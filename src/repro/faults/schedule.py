@@ -22,6 +22,9 @@ heal_groups         (side_a, side_b)
 heal_all            ()
 loss_burst          (duration, probability)
 delay_spike         (duration, extra_latency)
+overload_burst      (duration, factor)  — flash crowd: every client's
+                                arrival rate is multiplied by ``factor``
+                                for ``duration``, then restored
 crash_mid_transfer  (group,)  — crash the replica currently downloading
                                 a snapshot (no-op if none is)
 crash_snapshot_provider (group,) — crash the replica currently serving a
@@ -56,6 +59,7 @@ _KIND_ARITY = {
     "heal_all": 0,
     "loss_burst": 2,
     "delay_spike": 2,
+    "overload_burst": 2,
     "crash_mid_transfer": 1,
     "crash_snapshot_provider": 1,
 }
@@ -83,7 +87,7 @@ class FaultEvent:
             )
         # Validate traffic-fault arg domains here rather than letting a
         # bad value surface as a mid-run exception at fire time.
-        if self.kind in ("loss_burst", "delay_spike"):
+        if self.kind in ("loss_burst", "delay_spike", "overload_burst"):
             duration, amount = self.args
             if not isinstance(duration, (int, float)) or not isinstance(
                 amount, (int, float)
@@ -105,6 +109,10 @@ class FaultEvent:
             if self.kind == "delay_spike" and amount < 0:
                 raise ValueError(
                     f"delay_spike extra latency must be non-negative, got {amount}"
+                )
+            if self.kind == "overload_burst" and amount <= 0:
+                raise ValueError(
+                    f"overload_burst factor must be positive, got {amount}"
                 )
 
     def describe(self) -> str:
