@@ -71,7 +71,7 @@ def main() -> None:
         if t1 > t0:
             print(f"{name:<34} {window_rate(completed, t0, t1):>10.1f}/s")
     print(f"\ntotal: {system.total_completed()} commands, "
-          f"{system.monitor.counters().get('client_retries', 0)} cache-staleness retries, "
+          f"{system.monitor.counter('client', event='retry').value} cache-staleness retries, "
           f"{len(plans)} repartitionings")
 
 

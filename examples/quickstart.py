@@ -9,6 +9,8 @@ behind a cross-partition ``transfer``.
 Run:  python examples/quickstart.py
       python examples/quickstart.py --trace /tmp/quickstart-trace.jsonl
       python -m repro.obs.explain /tmp/quickstart-trace.jsonl
+      python examples/quickstart.py --obs /tmp/quickstart-obs
+      python -m repro.obs.report /tmp/quickstart-obs
 """
 
 import argparse
@@ -27,6 +29,13 @@ def main() -> None:
         default=None,
         help="record a command trace and export it as JSONL to PATH",
     )
+    parser.add_argument(
+        "--obs",
+        metavar="DIR",
+        default=None,
+        help="enable tracing, decision auditing, and health sampling, "
+        "and export all run artifacts into DIR (for repro.obs.report)",
+    )
     # parse_known_args: the test suite runs this file under runpy with
     # pytest's own argv still in place.
     args, _ = parser.parse_known_args()
@@ -42,7 +51,9 @@ def main() -> None:
             n_partitions=2,
             seed=42,
             latency=ConstantLatency(0.001),  # 1 ms one-way links
-            tracing=args.trace is not None,
+            tracing=args.trace is not None or args.obs is not None,
+            audit=args.obs is not None,
+            health_sample_period=1.0 if args.obs is not None else None,
         ),
     )
     print("initial placement (node -> partition):")
@@ -85,6 +96,14 @@ def main() -> None:
         n = system.tracer.export_jsonl(args.trace)
         print(f"\nwrote {n} trace records to {args.trace}")
         print(f"explain them with: python -m repro.obs.explain {args.trace}")
+
+    if args.obs:
+        from repro.experiments.harness import export_run_artifacts
+
+        written = export_run_artifacts(system, args.obs)
+        print(f"\nwrote run artifacts to {args.obs}: "
+              + ", ".join(sorted(written)))
+        print(f"report on them with: python -m repro.obs.report {args.obs}")
 
 
 if __name__ == "__main__":

@@ -270,7 +270,7 @@ class DynaStarClient(Actor):
         if self.done or self._current is None:
             return
         self.timeouts += 1
-        self.monitor.counter("client_timeouts").inc()
+        self.monitor.counter("client", event="timeout").inc()
         if self.tracer.enabled:
             self.tracer.event(
                 self._current.uid, "timeout", self.now, attempt=self._attempt
@@ -518,7 +518,7 @@ class DynaStarClient(Actor):
             if reply.attempt != self._attempt:
                 return
             self.retries += 1
-            self.monitor.counter("client_retries").inc()
+            self.monitor.counter("client", event="retry").inc()
             if self.tracer.enabled:
                 self.tracer.finish(
                     command.uid, "reply", self.now, disc=reply.attempt,

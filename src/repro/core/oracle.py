@@ -48,8 +48,11 @@ from repro.core.messages import (
 )
 from repro.multicast.basecast import MulticastReplica
 from repro.multicast.messages import MulticastMessage, OrderEvent
+from repro.obs import audit as audit_mod
+from repro.obs.audit import NULL_AUDIT, AuditLog
 from repro.partitioning import WorkloadGraph, partition_graph
 from repro.partitioning.quality import edge_cut as quality_edge_cut
+from repro.partitioning.quality import imbalance_by_label
 from repro.sim.monitor import Monitor
 from repro.smr.command import Command, CommandKind
 from repro.smr.statemachine import AppStateMachine
@@ -82,6 +85,7 @@ class OracleReplica(MulticastReplica):
         admission_headroom: Optional[int] = None,
         admission_retry_after: float = 0.05,
         admission_ttl: float = 30.0,
+        audit: Optional[AuditLog] = None,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -102,6 +106,10 @@ class OracleReplica(MulticastReplica):
         self.repartition_enabled = repartition_enabled and mode == "dynastar"
         self.plan_compute_cost = plan_compute_cost
         self.imbalance = imbalance
+        #: Decision audit log (shared across replicas; replica 0 records,
+        #: same convention as metrics).  NULL_AUDIT costs one attribute
+        #: read per decision when auditing is off.
+        self.audit = audit if audit is not None else NULL_AUDIT
         #: Ingress admission for client queries (None disables).  A
         #: repartition-storming oracle sheds plain lookups first;
         #: create/delete traffic gets the priority headroom.
@@ -433,9 +441,9 @@ class OracleReplica(MulticastReplica):
             or self.changes < self.repartition_threshold
         ):
             return
-        self.request_repartition()
+        self.request_repartition(trigger="threshold")
 
-    def request_repartition(self) -> None:
+    def request_repartition(self, trigger: str = "explicit") -> None:
         """Compute a new plan and multicast it after a virtual delay
         modelling the partitioner's computation time.
 
@@ -447,6 +455,20 @@ class OracleReplica(MulticastReplica):
         if self.plan_inflight or not self.partition_names:
             return
         self.plan_inflight = True
+        audited = self.audit.enabled and self._records_metrics
+        inputs = (
+            {
+                "trigger_changes": self.changes,
+                "threshold": self.repartition_threshold,
+                "vertices": self.graph.num_vertices,
+                "edges": self.graph.num_edges,
+                "vertex_weight": self.graph.total_vertex_weight,
+                "edge_weight": self.graph.total_edge_weight,
+                "decay": self.graph_decay,
+            }
+            if audited
+            else None
+        )
         self.changes = 0
         new_version = self.version + 1
 
@@ -473,7 +495,17 @@ class OracleReplica(MulticastReplica):
         # evaluates the same graph and maps at the same log position.
         new_cut = quality_edge_cut(self.graph, assignment)
         current_cut = quality_edge_cut(self.graph, self.location)
-        if new_cut >= current_cut * 0.98 and self.version > 0:
+        suppressed = new_cut >= current_cut * 0.98 and self.version > 0
+        if audited:
+            self.audit.decision(
+                t=self.now,
+                version=new_version,
+                trigger=trigger,
+                published=not suppressed,
+                inputs=inputs,
+                outputs=self._decision_outputs(assignment, current_cut, new_cut),
+            )
+        if suppressed:
             self.plan_inflight = False
             return
 
@@ -481,6 +513,44 @@ class OracleReplica(MulticastReplica):
         self._pending_plan = plan
         delay = self.plan_compute_cost * max(1, self.graph.num_vertices)
         self.set_timer(delay, lambda: self._publish_plan(plan))
+
+    def _decision_outputs(
+        self, assignment: dict, current_cut: float, new_cut: float
+    ) -> dict:
+        """Audit-only plan summary: cut/imbalance before vs after, which
+        partitions gain/lose nodes, and the heaviest moved vertices.
+        Runs only when auditing is enabled (off the default path)."""
+        k = len(self.partition_names)
+        moved = [
+            (node, target)
+            for node, target in assignment.items()
+            if self.location.get(node) not in (None, target)
+        ]
+        delta: dict[str, dict] = {
+            name: {"gained": 0, "lost": 0} for name in self.partition_names
+        }
+        for node, target in moved:
+            source = self.location[node]
+            if source in delta:
+                delta[source]["lost"] += 1
+            if target in delta:
+                delta[target]["gained"] += 1
+        moved_top = sorted(
+            (
+                (node, self.graph.vertex_weight(node) if node in self.graph else 0.0)
+                for node, _ in moved
+            ),
+            key=lambda pair: (-pair[1], repr(pair[0])),
+        )[:10]
+        return {
+            "edge_cut_before": current_cut,
+            "edge_cut_after": new_cut,
+            "imbalance_before": imbalance_by_label(self.graph, self.location, k),
+            "imbalance_after": imbalance_by_label(self.graph, assignment, k),
+            "vertices_moved": len(moved),
+            "moved_top": moved_top,
+            "partition_delta": delta,
+        }
 
     def _align_plan_labels(self, raw: dict) -> dict:
         """Map the partitioner's arbitrary part indices onto partition
@@ -511,6 +581,11 @@ class OracleReplica(MulticastReplica):
         return {node: idx_to_name[idx] for node, idx in raw.items()}
 
     def _publish_plan(self, plan: PartitionPlan) -> None:
+        if self.audit.enabled and self._records_metrics:
+            self.audit.record(
+                audit_mod.PUBLISHED, self.now,
+                version=plan.version, assignments=len(plan.assignment),
+            )
         dests = [self.group] + self.partition_names
         self._amcast_ordered(dests, plan, uid=f"plan:{plan.version}")
 
@@ -526,6 +601,11 @@ class OracleReplica(MulticastReplica):
         if self._records_metrics:
             self.monitor.counter("plans_applied").inc()
             self.monitor.series("plans").record(self.now)
+            if self.audit.enabled:
+                self.audit.record(
+                    audit_mod.APPLIED, self.now,
+                    version=plan.version, actor="oracle",
+                )
 
     def on_recover(self) -> None:
         super().on_recover()

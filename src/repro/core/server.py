@@ -47,6 +47,8 @@ from repro.core.messages import (
 )
 from repro.multicast.basecast import MulticastReplica
 from repro.multicast.messages import MulticastMessage, OrderEvent
+from repro.obs import audit as audit_mod
+from repro.obs.audit import NULL_AUDIT, AuditLog
 from repro.sim.monitor import Monitor
 from repro.smr.command import Reply, ReplyStatus
 from repro.smr.statemachine import AppStateMachine, VariableStore
@@ -75,11 +77,15 @@ class PartitionServer(MulticastReplica):
         admission_headroom: Optional[int] = None,
         admission_retry_after: float = 0.05,
         admission_ttl: float = 30.0,
+        audit: Optional[AuditLog] = None,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
         self.app = app
         self.monitor = monitor or Monitor()
+        #: Shared decision audit log; replica 0 records relocation /
+        #: quiesce events (metrics convention).
+        self.audit = audit if audit is not None else NULL_AUDIT
         self.mode = mode
         self.oracle_group = oracle_group
         self.hint_period = hint_period
@@ -933,10 +939,13 @@ class PartitionServer(MulticastReplica):
         self.last_plan = dict(assignment)
 
         moved_out_objects = 0
+        nodes_out = 0
+        nodes_in = 0
         for node, new_owner in assignment.items():
             if new_owner == self.partition:
                 if node not in self.owned_nodes:
                     self.owned_nodes.add(node)
+                    nodes_in += 1
                     early = self._early_plan_transfers.pop(node, None)
                     if early is not None:
                         self._install_node_vars(node, early)
@@ -965,11 +974,28 @@ class PartitionServer(MulticastReplica):
                         uid=f"pt:{plan.version}:{node!r}:{self.partition}",
                     )
                     moved_out_objects += len(pairs)
+                    nodes_out += 1
         if self._records_metrics:
             self.monitor.counter("plan_objects_moved").inc(moved_out_objects)
             self._pseries("objects").record(
                 self.now, moved_out_objects
             )
+            if self.audit.enabled:
+                if nodes_out or nodes_in:
+                    self.audit.record(
+                        audit_mod.RELOCATION, self.now,
+                        version=plan.version, partition=self.partition,
+                        objects_out=moved_out_objects,
+                        nodes_out=nodes_out, nodes_in=nodes_in,
+                        awaiting=len(self.in_transit),
+                    )
+                if not self.in_transit:
+                    # Nothing left in flight: this partition quiesces at
+                    # plan application time.
+                    self.audit.record(
+                        audit_mod.QUIESCE, self.now,
+                        version=plan.version, partition=self.partition,
+                    )
         return True
 
     def _install_node_vars(self, node: Any, pairs: tuple) -> None:
@@ -991,6 +1017,16 @@ class PartitionServer(MulticastReplica):
         if msg.node in self.in_transit:
             self._install_node_vars(msg.node, msg.vars)
             self.in_transit.discard(msg.node)
+            if (
+                not self.in_transit
+                and self.audit.enabled
+                and self._records_metrics
+            ):
+                # Last in-flight node settled: relocation quiesce point.
+                self.audit.record(
+                    audit_mod.QUIESCE, self.now,
+                    version=self.version, partition=self.partition,
+                )
             self._pump()
             return
         if msg.node not in self.owned_nodes:

@@ -28,6 +28,8 @@ from repro.core.client import DynaStarClient, Workload
 from repro.core.oracle import OracleReplica
 from repro.core.server import PartitionServer
 from repro.multicast.basecast import GroupDirectory
+from repro.obs.audit import NULL_AUDIT, AuditLog
+from repro.obs.health import PartitionHealthSampler
 from repro.obs.trace import Tracer
 from repro.partitioning.graph import Partitioning
 from repro.sim.events import Simulator
@@ -121,6 +123,16 @@ class SystemConfig:
     #: default: the disabled tracer's early-return keeps the overhead
     #: within noise of an untraced run.
     tracing: bool = False
+    #: Record the oracle decision audit log (see ``repro.obs.audit``).
+    #: Off by default: the shared NULL_AUDIT's ``enabled`` check keeps
+    #: the hooks near-zero-cost.
+    audit: bool = False
+    #: Period (virtual seconds) of the partition-health sampler
+    #: (``repro.obs.health``); None disables it entirely — no tick is
+    #: ever scheduled.
+    health_sample_period: Optional[float] = None
+    #: Hot-key top-N reported per health sample.
+    health_top_n: int = 5
     replica: ReplicaConfig = field(default_factory=ReplicaConfig)
 
 
@@ -144,6 +156,9 @@ class DynaStarSystem:
         #: One tracer shared by every actor; spans opened on one actor
         #: are closed by another (cross-actor protocol stages).
         self.tracer = Tracer(enabled=cfg.tracing)
+        #: One audit log shared by the oracle and partition servers
+        #: (replica 0 of each group records — the metrics convention).
+        self.audit = AuditLog() if cfg.audit else NULL_AUDIT
         self.sim = Simulator()
         self.net = Network(
             self.sim,
@@ -181,6 +196,7 @@ class DynaStarSystem:
             kwargs.pop("on_deliver", None)
             kwargs.pop("on_adeliver", None)
             kwargs.setdefault("tracer", self.tracer)
+            kwargs.setdefault("audit", self.audit)
             return OracleReplica(
                 app=self.app,
                 partition_names=self.partition_names,
@@ -209,6 +225,16 @@ class DynaStarSystem:
         self.initial_assignment = self._resolve_placement()
         self._preload()
 
+        #: Partition-health sampler; None unless configured — a disabled
+        #: system never schedules a tick (zero overhead).
+        self.health: Optional[PartitionHealthSampler] = (
+            PartitionHealthSampler(
+                self, period=cfg.health_sample_period, top_n=cfg.health_top_n
+            )
+            if cfg.health_sample_period is not None
+            else None
+        )
+
     # -- construction helpers ----------------------------------------------
 
     def _server_factory(self):
@@ -219,8 +245,9 @@ class DynaStarSystem:
             kwargs.pop("on_deliver", None)
             kwargs.pop("on_adeliver", None)
             # Injected here (not in _make_server) so baseline subclasses
-            # inherit tracing without repeating the wiring.
+            # inherit tracing/auditing without repeating the wiring.
             kwargs.setdefault("tracer", system.tracer)
+            kwargs.setdefault("audit", system.audit)
             return system._make_server(**kwargs)
 
         return factory
@@ -350,6 +377,8 @@ class DynaStarSystem:
             return
         self._started = True
         self.directory.start()
+        if self.health is not None:
+            self.health.start()
         for i, client in enumerate(self.clients):
             # Tiny stagger so a thousand clients do not fire in one event.
             self.sim.schedule(1e-6 * i, client.start)

@@ -1,8 +1,10 @@
 """Shared experiment machinery: system builders for the two benchmarks,
-client pools, and steady-state metric extraction."""
+client pools, steady-state metric extraction, and run-artifact export."""
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -96,6 +98,44 @@ def run_clients(
         workload=workload,
         stage_breakdown=breakdown,
     )
+
+
+def export_run_artifacts(system, directory: str) -> dict:
+    """Write whatever observability artifacts the system collected into
+    ``directory`` under the names ``repro.obs.report`` expects
+    (``trace.jsonl``, ``metrics.json``, ``audit.jsonl``,
+    ``health.jsonl``).  Returns ``{artifact: path}`` for what was
+    written; disabled collectors are simply skipped."""
+    os.makedirs(directory, exist_ok=True)
+    written: dict = {}
+
+    tracer = getattr(system, "tracer", None)
+    if tracer is not None and tracer.enabled and tracer.spans:
+        path = os.path.join(directory, "trace.jsonl")
+        tracer.export_jsonl(path)
+        written["trace"] = path
+
+    monitor = getattr(system, "monitor", None)
+    if monitor is not None:
+        path = os.path.join(directory, "metrics.json")
+        with open(path, "w") as fh:
+            json.dump(monitor.snapshot(), fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        written["metrics"] = path
+
+    audit = getattr(system, "audit", None)
+    if audit is not None and audit.enabled:
+        path = os.path.join(directory, "audit.jsonl")
+        audit.export_jsonl(path)
+        written["audit"] = path
+
+    health = getattr(system, "health", None)
+    if health is not None:
+        path = os.path.join(directory, "health.jsonl")
+        health.export_jsonl(path)
+        written["health"] = path
+
+    return written
 
 
 # ---------------------------------------------------------------------------

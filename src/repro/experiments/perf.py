@@ -15,7 +15,8 @@ Scenarios
 * ``chaos`` — Chirper under message loss, crashes, link cuts, and
   client-timeout retries.
 * ``micro.*`` — event dispatch, ``Network.send``, ``Monitor`` counter
-  increments, and ``fastcopy.copy_value`` in isolation.
+  increments, ``fastcopy.copy_value``, and the disabled-path cost of
+  the observability hooks in isolation.
 
 Determinism gate
 ----------------
@@ -239,6 +240,32 @@ def micro_monitor_counters(quick: bool) -> dict:
     return {"ops": ops, "wall_clock_s": wall, "ops_per_sec": ops / wall}
 
 
+def micro_obs_disabled(quick: bool) -> dict:
+    """Cost of the observability hooks when observability is off.
+
+    Every audit call site in the oracle/server plan path is shaped as
+    an ``enabled`` guard (possibly followed by a ``NULL_AUDIT.record``
+    early return); the health sampler is simply absent.  This micro
+    times that disabled pattern in isolation.  The macro scenarios
+    above run with observability off and carry the <2% events/s
+    regression budget against the committed baseline.
+    """
+    from repro.obs.audit import NULL_AUDIT
+
+    n = 100_000 if quick else 400_000
+    audit = NULL_AUDIT
+
+    def hooks():
+        for i in range(n):
+            if audit.enabled:  # guarded call site: never taken
+                audit.record("plan-published", 0.0, version=i)
+            audit.record("plan-applied", 0.0, version=i)  # early return
+
+    _, wall = _timed(hooks)
+    ops = 2 * n
+    return {"ops": ops, "wall_clock_s": wall, "ops_per_sec": ops / wall}
+
+
 def micro_fastcopy(quick: bool) -> dict:
     n = 5_000 if quick else 20_000
     # Shaped like the social-network store values: follower sets, tuple
@@ -445,6 +472,7 @@ def main(argv=None) -> int:
         ("network_send", micro_network_send),
         ("monitor_counters", micro_monitor_counters),
         ("fastcopy", micro_fastcopy),
+        ("obs_disabled", micro_obs_disabled),
     ):
         print(f"[perf] running micro.{name} ...", flush=True)
         micro[name] = runner(args.quick)

@@ -1,9 +1,16 @@
-"""Observability: command tracing, trace analysis, latency explainer.
+"""Observability: command tracing, trace analysis, latency explainer,
+partition-health telemetry, oracle decision audit, run reports.
 
 ``repro.obs.trace``    — :class:`Tracer` / :class:`Span`, JSONL export.
 ``repro.obs.analyze``  — span-tree assembly, integrity checks, per-stage
                          latency breakdowns, critical-path attribution.
 ``repro.obs.explain``  — ``python -m repro.obs.explain TRACE.jsonl``.
+``repro.obs.audit``    — :class:`AuditLog` of oracle repartition
+                         decisions with cost attribution.
+``repro.obs.health``   — :class:`PartitionHealthSampler` windowed
+                         partition-health telemetry on the virtual clock.
+``repro.obs.report``   — ``python -m repro.obs.report RUN_DIR`` joining
+                         traces, metrics, audit log, and health samples.
 """
 
 from repro.obs.trace import NULL_TRACER, ROOT_SPAN, Span, Tracer, load_jsonl
@@ -14,6 +21,8 @@ from repro.obs.analyze import (
     critical_path,
     stage_breakdown,
 )
+from repro.obs.audit import NULL_AUDIT, AuditLog, load_audit_jsonl
+from repro.obs.health import PartitionHealthSampler, load_health_jsonl
 
 __all__ = [
     "NULL_TRACER",
@@ -26,4 +35,9 @@ __all__ = [
     "check_integrity",
     "critical_path",
     "stage_breakdown",
+    "NULL_AUDIT",
+    "AuditLog",
+    "load_audit_jsonl",
+    "PartitionHealthSampler",
+    "load_health_jsonl",
 ]

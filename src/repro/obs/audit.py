@@ -1,0 +1,164 @@
+"""The oracle decision audit log: *why* did a repartition fire?
+
+DynaStar's value proposition is the oracle's dynamic repartitioning
+loop, yet a trace only shows its *effects* (plans a-delivered, variables
+moving).  The :class:`AuditLog` records the loop's *decisions* as
+structured records:
+
+* ``repartition-decision`` — the trigger (accumulated access changes
+  crossing the threshold, or an explicit request), the workload-graph
+  inputs (vertex/edge counts, decayed weights), and the outputs: edge
+  cut and imbalance before/after, how many vertices change home, the
+  heaviest moved vertices, and the per-partition gained/lost delta.
+  Hysteresis-suppressed plans are recorded too (``published: false``) —
+  "why did nothing happen" is as auditable as "why did it".
+* ``plan-published`` / ``plan-applied`` — the plan's multicast send and
+  a-delivery times, bracketing the ordering cost.
+* ``relocation`` / ``relocation-quiesce`` — per-partition: how many
+  objects a plan shipped out, how many nodes arrived in transit, and
+  when the last in-flight node settled (the quiesce point after which
+  no command blocks on plan-driven relocation).
+
+Design constraints mirror :class:`repro.obs.trace.Tracer`:
+
+* **Near-zero overhead when disabled.**  Every public method starts
+  with an ``enabled`` check; :data:`NULL_AUDIT` is the shared disabled
+  instance used as the default everywhere.
+* **Deterministic.**  Record ids come from a per-log counter, times
+  from the virtual clock; values are rendered through the same
+  JSON-safe cleaner as trace tags, so seeded runs export byte-identical
+  JSONL.  Replicated actors record on replica 0 only (the metrics
+  convention), so replication does not double records.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, TextIO, Union
+
+from repro.obs.trace import _clean
+
+#: Record kinds, in lifecycle order for one plan version.
+DECISION = "repartition-decision"
+PUBLISHED = "plan-published"
+APPLIED = "plan-applied"
+RELOCATION = "relocation"
+QUIESCE = "relocation-quiesce"
+
+
+class AuditLog:
+    """Append-only structured log of oracle repartitioning decisions."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: list[dict] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, kind: str, t: float, **fields: Any) -> Optional[dict]:
+        """Append one record; returns it (or None when disabled).
+
+        ``fields`` values are cleaned to JSON scalars (``repr`` for
+        anything else) at record time, so later mutation of the caller's
+        objects cannot change history.
+        """
+        if not self.enabled:
+            return None
+        record = {"kind": kind, "seq": self._seq, "t": t}
+        self._seq += 1
+        for key, value in fields.items():
+            record[key] = _clean_value(value)
+        self.records.append(record)
+        return record
+
+    def decision(
+        self,
+        t: float,
+        version: int,
+        trigger: str,
+        published: bool,
+        inputs: dict,
+        outputs: dict,
+        **fields: Any,
+    ) -> Optional[dict]:
+        """Record one repartition decision (published or suppressed)."""
+        if not self.enabled:
+            return None
+        return self.record(
+            DECISION,
+            t,
+            version=version,
+            trigger=trigger,
+            published=published,
+            inputs=inputs,
+            outputs=outputs,
+            **fields,
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def by_kind(self, kind: str) -> list[dict]:
+        return [r for r in self.records if r["kind"] == kind]
+
+    def decisions(self) -> list[dict]:
+        return self.by_kind(DECISION)
+
+    def reset(self) -> None:
+        self.records.clear()
+        self._seq = 0
+
+    # -- export -------------------------------------------------------------
+
+    def to_records(self) -> list[dict]:
+        """Every record, in deterministic creation order."""
+        return list(self.records)
+
+    def export_jsonl(self, out: Union[str, TextIO]) -> int:
+        """Write the audit log as JSON lines; returns the record count.
+        ``out`` is a path or a file object."""
+        records = self.to_records()
+        if isinstance(out, str):
+            with open(out, "w") as fh:
+                _write(fh, records)
+        else:
+            _write(out, records)
+        return len(records)
+
+
+def _clean_value(value: Any) -> Any:
+    """Deep-clean a field value: dicts/lists/tuples recurse, everything
+    else goes through the tracer's scalar cleaner."""
+    if isinstance(value, dict):
+        return {str(k): _clean_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean_value(v) for v in value]
+    return _clean(value)
+
+
+def _write(fh: TextIO, records: list[dict]) -> None:
+    for record in records:
+        fh.write(json.dumps(record, sort_keys=True))
+        fh.write("\n")
+
+
+def load_audit_jsonl(source: Union[str, TextIO]) -> list[dict]:
+    """Read an exported audit log back into a record list."""
+    if isinstance(source, str):
+        with open(source) as fh:
+            lines = fh.readlines()
+    else:
+        lines = source.readlines()
+    records = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+#: Shared disabled audit log — the default wherever auditing is optional.
+NULL_AUDIT = AuditLog(enabled=False)

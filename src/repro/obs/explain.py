@@ -11,11 +11,17 @@ Reads a JSONL trace export (``Tracer.export_jsonl``) and prints:
 Exit status is 0 on success, 1 when ``--expect-stages`` names a stage
 absent from the log, 2 when ``--check-integrity`` finds violations —
 so CI can assert instrumentation has not rotted.
+
+``--format json`` emits the same breakdown as one JSON document on
+stdout (guard diagnostics go to stderr; exit codes are unchanged), so
+CI and ``repro.obs.report`` can consume it without screen-scraping.
+The default text output is untouched.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -127,30 +133,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="run span-tree integrity checks; exit 2 on violations",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="output format (default text; json emits one document)",
+    )
     args = parser.parse_args(argv)
 
     traces = TraceSet.from_jsonl(args.trace)
-    explain(traces, slowest=args.slowest)
+    if args.fmt == "json":
+        report = stage_breakdown(traces)
+        report["slowest"] = report["slowest"][: max(0, args.slowest)]
+        report["traces_total"] = len(traces)
+        event_counts: dict[str, int] = {}
+        for event in traces.events:
+            event_counts[event["name"]] = event_counts.get(event["name"], 0) + 1
+        report["events"] = event_counts
+    else:
+        report = explain(traces, slowest=args.slowest)
 
     status = 0
     if args.expect_stages:
         expected = {s.strip() for s in args.expect_stages.split(",") if s.strip()}
         present = stage_names(traces)
         missing = sorted(expected - present)
+        if args.fmt == "json":
+            report["missing_stages"] = missing
         if missing:
             print(f"MISSING stages: {', '.join(missing)}", file=sys.stderr)
             status = 1
-        else:
+        elif args.fmt != "json":
             print(f"all {len(expected)} expected stages present")
 
     if args.check_integrity:
         problems = check_integrity(traces)
+        if args.fmt == "json":
+            report["integrity"] = problems
         if problems:
             for problem in problems:
                 print(f"INTEGRITY: {problem}", file=sys.stderr)
             status = 2
-        else:
+        elif args.fmt != "json":
             print("span-tree integrity: ok")
+
+    if args.fmt == "json":
+        json.dump(report, sys.stdout, sort_keys=True, indent=2)
+        sys.stdout.write("\n")
 
     return status
 

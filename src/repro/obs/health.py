@@ -1,0 +1,198 @@
+"""Windowed partition-health telemetry on the virtual clock.
+
+The :class:`PartitionHealthSampler` ticks every ``period`` virtual
+seconds and records, per window:
+
+* **per-partition load** — commands executed in the window, the
+  single- vs multi-partition command mix, execution-queue depth,
+  admission-controller depth, owned-node / stored-variable counts, and
+  nodes still in transit under a repartitioning plan;
+* **graph quality** — the oracle's live workload graph scored against
+  its live location map: edge cut, cut fraction, and load imbalance
+  (via ``repro.partitioning.quality``), plus vertex/edge counts and the
+  oracle's accumulated change counter;
+* **hot keys** — the top-N heaviest workload-graph vertices
+  (:func:`repro.partitioning.quality.weighted_hot_vertices`).
+
+Samples are plain JSON-safe dicts kept in order (`samples`) and also
+fed into the shared :class:`~repro.sim.monitor.Monitor` as labeled
+series (``health_load{partition=..}``, ``health_edge_cut`` …) so the
+figure machinery can plot them like any other metric.
+
+Design constraints:
+
+* **Zero cost when disabled.**  A system without health sampling never
+  constructs a sampler and never schedules a tick — there is no
+  per-event hook anywhere; the sampler *reads* actor state, it is never
+  called by actors.
+* **Deterministic.**  Ticks run at fixed virtual times, reads are pure,
+  and values are cleaned to JSON scalars at sample time, so seeded runs
+  export byte-identical JSONL.  The sampler samples replica 0 of each
+  group (falling back to the first live replica under crashes — a
+  deterministic choice given a seeded fault schedule).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, TextIO, Union
+
+from repro.obs.trace import _clean
+from repro.partitioning.quality import (
+    cut_fraction,
+    edge_cut,
+    imbalance_by_label,
+    weighted_hot_vertices,
+)
+
+
+class PartitionHealthSampler:
+    """Periodic sampler over a running ``DynaStarSystem`` (duck-typed:
+    anything exposing ``sim``, ``monitor``, ``partition_names``,
+    ``servers(p)`` and ``oracle_replicas()`` works)."""
+
+    def __init__(
+        self,
+        system,
+        period: float = 1.0,
+        top_n: int = 5,
+    ):
+        if period <= 0:
+            raise ValueError("sample period must be positive")
+        self.system = system
+        self.period = period
+        self.top_n = top_n
+        self.samples: list[dict] = []
+        self._last_executed: dict[str, int] = {}
+        self._last_multi: dict[str, int] = {}
+        self._started = False
+
+    # -- scheduling ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the first tick (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.system.sim.schedule(self.period, self._tick)
+
+    def _tick(self) -> None:
+        self.sample()
+        self.system.sim.schedule(self.period, self._tick)
+
+    # -- sampling -----------------------------------------------------------
+
+    def _live_replica(self, replicas):
+        for replica in replicas:
+            if not replica.crashed:
+                return replica
+        return None
+
+    def sample(self) -> Optional[dict]:
+        """Take one sample now; returns the record (None if nothing is
+        reachable — e.g. every replica of every group crashed)."""
+        system = self.system
+        now = system.sim.now
+        monitor = system.monitor
+        record: dict = {"t": now, "partitions": {}}
+
+        total_exec = 0
+        total_multi = 0
+        for name in system.partition_names:
+            server = self._live_replica(system.servers(name))
+            if server is None:
+                continue
+            executed = server.executed_count
+            multi = server.multi_partition_count
+            d_exec = executed - self._last_executed.get(name, 0)
+            d_multi = multi - self._last_multi.get(name, 0)
+            self._last_executed[name] = executed
+            self._last_multi[name] = multi
+            total_exec += d_exec
+            total_multi += d_multi
+            entry = {
+                "executed": d_exec,
+                "multi": d_multi,
+                "single": d_exec - d_multi,
+                "queue_depth": len(server.queue),
+                "admission_depth": (
+                    server.admission.depth if server.admission is not None else 0
+                ),
+                "owned_nodes": len(server.owned_nodes),
+                "variables": len(server.store),
+                "in_transit": len(server.in_transit),
+            }
+            record["partitions"][name] = entry
+            monitor.series("health_load", partition=name).record(now, d_exec)
+            monitor.series("health_multi", partition=name).record(now, d_multi)
+            monitor.series("health_queue_depth", partition=name).record(
+                now, entry["queue_depth"]
+            )
+
+        record["mix"] = {
+            "executed": total_exec,
+            "multi": total_multi,
+            "single": total_exec - total_multi,
+            "multi_fraction": (total_multi / total_exec) if total_exec else 0.0,
+        }
+
+        oracle = self._live_replica(system.oracle_replicas())
+        if oracle is not None:
+            graph = oracle.graph
+            location = oracle.location
+            k = max(1, len(system.partition_names))
+            cut = edge_cut(graph, location)
+            quality = {
+                "version": oracle.version,
+                "changes": oracle.changes,
+                "vertices": graph.num_vertices,
+                "edges": graph.num_edges,
+                "edge_cut": cut,
+                "cut_fraction": cut_fraction(graph, location),
+                "imbalance": imbalance_by_label(graph, location, k),
+            }
+            record["graph"] = quality
+            record["hot"] = [
+                [_clean(v), w] for v, w in weighted_hot_vertices(graph, self.top_n)
+            ]
+            monitor.series("health_edge_cut").record(now, cut)
+            monitor.series("health_imbalance").record(now, quality["imbalance"])
+
+        self.samples.append(record)
+        return record
+
+    # -- export -------------------------------------------------------------
+
+    def to_records(self) -> list[dict]:
+        return list(self.samples)
+
+    def export_jsonl(self, out: Union[str, TextIO]) -> int:
+        """Write the samples as JSON lines; returns the sample count."""
+        records = self.to_records()
+        if isinstance(out, str):
+            with open(out, "w") as fh:
+                self._write(fh, records)
+        else:
+            self._write(out, records)
+        return len(records)
+
+    @staticmethod
+    def _write(fh: TextIO, records: list[dict]) -> None:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+
+
+def load_health_jsonl(source: Union[str, TextIO]) -> list[dict]:
+    """Read exported health samples back into a record list."""
+    if isinstance(source, str):
+        with open(source) as fh:
+            lines = fh.readlines()
+    else:
+        lines = source.readlines()
+    records = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records

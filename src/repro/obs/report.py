@@ -1,0 +1,470 @@
+"""One run, one report: join traces, metrics, audit log, and health
+samples into a single partition-health run report.
+
+Usage::
+
+    python -m repro.obs.report ARTIFACT_DIR [--format text|json] [--out F]
+
+``ARTIFACT_DIR`` is a directory of run artifacts as written by
+``repro.experiments.harness.export_run_artifacts`` (or the quickstart's
+``--obs`` flag).  Each artifact is optional — the report covers whatever
+is present:
+
+* ``trace.jsonl``   — causal spans (``repro.obs.trace``)
+* ``metrics.json``  — monitor snapshot (``Monitor.snapshot()``)
+* ``audit.jsonl``   — oracle decision audit log (``repro.obs.audit``)
+* ``health.jsonl``  — partition-health samples (``repro.obs.health``)
+
+The report sections:
+
+* **run** — completion counters and steady throughput from metrics;
+* **partitions** — per-partition load timeline summary (total/peak/mean
+  per health window, command mix, final queue depths);
+* **repartitions** — one entry per oracle decision, joining each
+  published decision's lifecycle records into a cost attribution:
+  partition compute (decision → publish), plan multicast (publish →
+  a-delivery), relocation quiesce (a-delivery → last in-flight node
+  settled), with edge-cut before/after and vertices moved; suppressed
+  (hysteresis) decisions are listed too, each as its own entry;
+* **moved** — top moved variables across all plans, by graph weight;
+* **overload** — admission/backpressure/retry counters grouped from the
+  labeled-metric namespace;
+* **graph** — edge-cut / cut-fraction / imbalance trajectory endpoints.
+
+``build_report`` is a pure function of the loaded artifacts, and JSON
+output is dumped with sorted keys — seeded runs produce byte-identical
+reports, which CI relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional, TextIO
+
+from repro.obs import audit as audit_mod
+from repro.obs.analyze import TraceSet, stage_breakdown
+from repro.obs.health import load_health_jsonl
+
+#: Default artifact filenames inside a run directory.
+TRACE_FILE = "trace.jsonl"
+METRICS_FILE = "metrics.json"
+AUDIT_FILE = "audit.jsonl"
+HEALTH_FILE = "health.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# loading
+# ---------------------------------------------------------------------------
+
+
+def load_artifacts(
+    directory: str,
+    trace: Optional[str] = None,
+    metrics: Optional[str] = None,
+    audit: Optional[str] = None,
+    health: Optional[str] = None,
+) -> dict:
+    """Load whatever artifacts exist; explicit paths override the
+    directory convention.  Returns ``{"trace": TraceSet|None,
+    "metrics": dict|None, "audit": [records], "health": [records]}``."""
+
+    def _resolve(explicit: Optional[str], default_name: str) -> Optional[str]:
+        if explicit:
+            return explicit
+        candidate = os.path.join(directory, default_name)
+        return candidate if os.path.exists(candidate) else None
+
+    out: dict = {"trace": None, "metrics": None, "audit": [], "health": []}
+    path = _resolve(trace, TRACE_FILE)
+    if path:
+        out["trace"] = TraceSet.from_jsonl(path)
+    path = _resolve(metrics, METRICS_FILE)
+    if path:
+        with open(path) as fh:
+            out["metrics"] = json.load(fh)
+    path = _resolve(audit, AUDIT_FILE)
+    if path:
+        out["audit"] = audit_mod.load_audit_jsonl(path)
+    path = _resolve(health, HEALTH_FILE)
+    if path:
+        out["health"] = load_health_jsonl(path)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# report sections (pure functions of loaded artifacts)
+# ---------------------------------------------------------------------------
+
+
+def _run_section(metrics: Optional[dict]) -> dict:
+    if not metrics:
+        return {}
+    counters = metrics.get("counters", {})
+    section = {
+        "completed": counters.get("commands_completed", 0),
+        "failed": counters.get("commands_failed", 0),
+        "plans_applied": counters.get("plans_applied", 0),
+        "oracle_queries": counters.get("oracle_queries_total", 0),
+    }
+    hist = metrics.get("histograms", {}).get("latency")
+    if hist:
+        section["latency"] = hist
+    return section
+
+
+def _partition_section(health: list) -> dict:
+    if not health:
+        return {}
+    per: dict = {}
+    for sample in health:
+        for name, entry in sample.get("partitions", {}).items():
+            agg = per.setdefault(
+                name,
+                {
+                    "executed": 0,
+                    "multi": 0,
+                    "peak_window": 0,
+                    "peak_queue_depth": 0,
+                    "windows": 0,
+                },
+            )
+            agg["executed"] += entry["executed"]
+            agg["multi"] += entry["multi"]
+            agg["windows"] += 1
+            agg["peak_window"] = max(agg["peak_window"], entry["executed"])
+            agg["peak_queue_depth"] = max(
+                agg["peak_queue_depth"], entry["queue_depth"]
+            )
+    for name, agg in per.items():
+        agg["mean_window"] = (
+            agg["executed"] / agg["windows"] if agg["windows"] else 0.0
+        )
+    total = sum(s.get("mix", {}).get("executed", 0) for s in health)
+    multi = sum(s.get("mix", {}).get("multi", 0) for s in health)
+    last = health[-1]
+    return {
+        "per_partition": per,
+        "windows": len(health),
+        "mix": {
+            "executed": total,
+            "multi": multi,
+            "single": total - multi,
+            "multi_fraction": (multi / total) if total else 0.0,
+        },
+        "final_queue_depths": {
+            name: entry["queue_depth"]
+            for name, entry in last.get("partitions", {}).items()
+        },
+    }
+
+
+def _repartition_section(audit: list) -> list:
+    """One event per oracle decision, cost-attributed from lifecycle
+    records sharing its plan version.
+
+    Suppressed (hysteresis) decisions never bump the oracle version, so
+    several may carry the same candidate version number — each still
+    gets its own entry; only the published decision of a version owns
+    that version's publish/apply/quiesce records.
+    """
+    if not audit:
+        return []
+    lifecycle: dict = {}
+    decisions = []
+    for record in audit:
+        if record["kind"] == audit_mod.DECISION:
+            decisions.append(record)
+        elif record.get("version") is not None:
+            lifecycle.setdefault(record["version"], []).append(record)
+    events = []
+    for decision in sorted(decisions, key=lambda r: r["seq"]):
+        version = decision["version"]
+        event: dict = {
+            "version": version,
+            "t": decision["t"],
+            "trigger": decision.get("trigger"),
+            "published": decision.get("published"),
+            "inputs": decision.get("inputs", {}),
+            "outputs": decision.get("outputs", {}),
+        }
+        records = (
+            lifecycle.pop(version, []) if decision.get("published") else []
+        )
+        published = next(
+            (r for r in records if r["kind"] == audit_mod.PUBLISHED), None
+        )
+        applied = [r for r in records if r["kind"] == audit_mod.APPLIED]
+        quiesced = [r for r in records if r["kind"] == audit_mod.QUIESCE]
+        relocations = [r for r in records if r["kind"] == audit_mod.RELOCATION]
+        timing: dict = {}
+        if published:
+            timing["compute"] = published["t"] - decision["t"]
+        if published and applied:
+            timing["multicast"] = max(r["t"] for r in applied) - published["t"]
+        if applied and quiesced:
+            timing["quiesce"] = max(r["t"] for r in quiesced) - max(
+                r["t"] for r in applied
+            )
+        if timing:
+            timing["total"] = sum(timing.values())
+            event["timing"] = timing
+        if relocations:
+            event["relocated_objects"] = sum(
+                r.get("objects_out", 0) for r in relocations
+            )
+        events.append(event)
+    # lifecycle records whose version has no decision (partial logs)
+    for version in sorted(lifecycle):
+        events.append({"version": version, "published": True})
+    return events
+
+
+def _moved_section(audit: list, top_n: int = 10) -> list:
+    """Top moved variables across all published plans, by total weight."""
+    totals: dict = {}
+    for record in audit:
+        if record["kind"] != audit_mod.DECISION or not record.get("published"):
+            continue
+        for vertex, weight in record.get("outputs", {}).get("moved_top", []):
+            key = json.dumps(vertex, sort_keys=True)
+            entry = totals.setdefault(key, {"vertex": vertex, "weight": 0.0, "moves": 0})
+            entry["weight"] += weight
+            entry["moves"] += 1
+    ranked = sorted(
+        totals.values(), key=lambda e: (-e["weight"], json.dumps(e["vertex"]))
+    )
+    return ranked[:top_n]
+
+
+def _overload_section(metrics: Optional[dict]) -> dict:
+    """Admission / backpressure / retry counters from the labeled
+    namespace (``admission{event=..}``, ``client{event=..}``)."""
+    if not metrics:
+        return {}
+    counters = metrics.get("counters", {})
+    section: dict = {"admission": {}, "client": {}}
+    for key, value in counters.items():
+        for base in ("admission", "client"):
+            prefix = base + "{"
+            if key.startswith(prefix) and key.endswith("}"):
+                section[base][key[len(prefix) : -1]] = value
+    if "server_busy" in counters:
+        section["server_busy"] = counters["server_busy"]
+    return section
+
+
+def _graph_section(health: list) -> dict:
+    points = [
+        (s["t"], s["graph"]) for s in health if "graph" in s
+    ]
+    if not points:
+        return {}
+    cuts = [g["edge_cut"] for _, g in points]
+    imb = [g["imbalance"] for _, g in points]
+    first_t, first = points[0]
+    last_t, last = points[-1]
+    return {
+        "first": {"t": first_t, **first},
+        "last": {"t": last_t, **last},
+        "edge_cut": {"min": min(cuts), "max": max(cuts)},
+        "imbalance": {"min": min(imb), "max": max(imb)},
+    }
+
+
+def build_report(artifacts: dict) -> dict:
+    """Assemble the full report dict from loaded artifacts."""
+    report = {
+        "run": _run_section(artifacts.get("metrics")),
+        "partitions": _partition_section(artifacts.get("health") or []),
+        "repartitions": _repartition_section(artifacts.get("audit") or []),
+        "moved": _moved_section(artifacts.get("audit") or []),
+        "overload": _overload_section(artifacts.get("metrics")),
+        "graph": _graph_section(artifacts.get("health") or []),
+    }
+    traces = artifacts.get("trace")
+    if traces is not None and traces.spans:
+        stages = stage_breakdown(traces)
+        stages["slowest"] = stages["slowest"][:5]
+        report["stages"] = stages
+    return report
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.2f}ms"
+
+
+def render_text(report: dict, out: TextIO) -> None:
+    w = out.write
+    run = report.get("run") or {}
+    if run:
+        w("== Run ==\n")
+        w(
+            f"  completed={run.get('completed', 0)}"
+            f" failed={run.get('failed', 0)}"
+            f" plans_applied={run.get('plans_applied', 0)}"
+            f" oracle_queries={run.get('oracle_queries', 0)}\n"
+        )
+        latency = run.get("latency")
+        if latency:
+            w(
+                f"  latency mean={_fmt_ms(latency.get('mean', 0.0))}"
+                f" p95={_fmt_ms(latency.get('p95', 0.0))}\n"
+            )
+    parts = report.get("partitions") or {}
+    if parts:
+        w(f"== Partition load ({parts['windows']} windows) ==\n")
+        for name in sorted(parts["per_partition"]):
+            agg = parts["per_partition"][name]
+            w(
+                f"  {name}: executed={agg['executed']}"
+                f" multi={agg['multi']}"
+                f" mean/window={agg['mean_window']:.1f}"
+                f" peak/window={agg['peak_window']}"
+                f" peak_queue={agg['peak_queue_depth']}\n"
+            )
+        mix = parts.get("mix") or {}
+        if mix:
+            w(
+                f"  mix: single={mix.get('single', 0)} multi={mix.get('multi', 0)}"
+                f" multi_fraction={mix.get('multi_fraction', 0.0):.3f}\n"
+            )
+    events = report.get("repartitions") or []
+    if events:
+        w(f"== Repartitions ({len(events)}) ==\n")
+        for event in events:
+            line = f"  v{event['version']}"
+            if "t" in event:
+                line += f" t={event['t']:.3f}"
+            line += f" trigger={event.get('trigger', '?')}"
+            if event.get("published") is False:
+                line += " SUPPRESSED"
+            outputs = event.get("outputs") or {}
+            if "edge_cut_before" in outputs:
+                line += (
+                    f" cut {outputs['edge_cut_before']:.1f}"
+                    f"->{outputs.get('edge_cut_after', 0.0):.1f}"
+                )
+            if "vertices_moved" in outputs:
+                line += f" moved={outputs['vertices_moved']}"
+            timing = event.get("timing") or {}
+            if timing:
+                line += " [" + " ".join(
+                    f"{stage}={_fmt_ms(timing[stage])}"
+                    for stage in ("compute", "multicast", "quiesce", "total")
+                    if stage in timing
+                ) + "]"
+            w(line + "\n")
+    moved = report.get("moved") or []
+    if moved:
+        w("== Top moved variables ==\n")
+        for entry in moved:
+            w(
+                f"  {entry['vertex']!r}: weight={entry['weight']:.1f}"
+                f" moves={entry['moves']}\n"
+            )
+    overload = report.get("overload") or {}
+    if overload.get("admission") or overload.get("client") or overload.get("server_busy"):
+        w("== Overload / admission ==\n")
+        for base in ("admission", "client"):
+            for event_name in sorted(overload.get(base, {})):
+                w(f"  {base}.{event_name}={overload[base][event_name]}\n")
+        if "server_busy" in overload:
+            w(f"  server_busy={overload['server_busy']}\n")
+    graph = report.get("graph") or {}
+    if graph:
+        w("== Graph quality ==\n")
+        first, last = graph["first"], graph["last"]
+        w(
+            f"  edge_cut {first['edge_cut']:.1f} -> {last['edge_cut']:.1f}"
+            f" (min={graph['edge_cut']['min']:.1f}"
+            f" max={graph['edge_cut']['max']:.1f})\n"
+        )
+        w(
+            f"  imbalance {first['imbalance']:.3f} -> {last['imbalance']:.3f}"
+            f" (min={graph['imbalance']['min']:.3f}"
+            f" max={graph['imbalance']['max']:.3f})\n"
+        )
+        w(
+            f"  graph size {first['vertices']}v/{first['edges']}e"
+            f" -> {last['vertices']}v/{last['edges']}e\n"
+        )
+    stages = report.get("stages")
+    if stages:
+        w(f"== Trace stages ({stages['traces']} traces) ==\n")
+        e2e = stages["end_to_end"]
+        w(
+            f"  end-to-end: mean={_fmt_ms(e2e['mean'])}"
+            f" p95={_fmt_ms(e2e['p95'])}\n"
+        )
+        for summary in stages.get("critical", []):
+            w(
+                f"  {summary['stage']}: mean={_fmt_ms(summary['mean'])}"
+                f" total={summary['total']:.3f}s\n"
+            )
+
+
+def render_json(report: dict, out: TextIO) -> None:
+    json.dump(report, out, sort_keys=True, indent=2)
+    out.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Join run artifacts into a partition-health report.",
+    )
+    parser.add_argument("directory", help="run artifact directory")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument("--out", default=None, help="write to file (default stdout)")
+    parser.add_argument("--trace", default=None, help="override trace path")
+    parser.add_argument("--metrics", default=None, help="override metrics path")
+    parser.add_argument("--audit", default=None, help="override audit-log path")
+    parser.add_argument("--health", default=None, help="override health path")
+    args = parser.parse_args(argv)
+
+    if not os.path.isdir(args.directory):
+        print(f"error: not a directory: {args.directory}", file=sys.stderr)
+        return 2
+    artifacts = load_artifacts(
+        args.directory,
+        trace=args.trace,
+        metrics=args.metrics,
+        audit=args.audit,
+        health=args.health,
+    )
+    if all(
+        not artifacts[key] for key in ("trace", "metrics", "audit", "health")
+    ):
+        print(
+            f"error: no artifacts found in {args.directory} "
+            f"(expected any of {TRACE_FILE}, {METRICS_FILE}, {AUDIT_FILE}, {HEALTH_FILE})",
+            file=sys.stderr,
+        )
+        return 2
+    report = build_report(artifacts)
+    render = render_json if args.fmt == "json" else render_text
+    if args.out:
+        with open(args.out, "w") as fh:
+            render(report, fh)
+    else:
+        render(report, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,14 @@
-"""Partition-quality metrics: edge-cut, part weights, imbalance."""
+"""Partition-quality metrics: edge-cut, part weights, imbalance.
+
+Two families of helpers coexist here:
+
+* The original index-keyed ones (:func:`part_weights`,
+  :func:`imbalance`) take assignments mapping vertices to integer part
+  indices — the partitioner's native output.
+* The ``*_by_label`` variants accept assignments with *arbitrary
+  hashable* part labels (the oracle's location map uses partition
+  names), which is what the partition-health sampler consumes.
+"""
 
 from __future__ import annotations
 
@@ -42,3 +52,53 @@ def cut_fraction(graph: WorkloadGraph, assignment: Mapping) -> float:
     if total == 0:
         return 0.0
     return edge_cut(graph, assignment) / total
+
+
+def part_weights_by_label(graph: WorkloadGraph, assignment: Mapping) -> dict:
+    """Per-part total vertex weight for arbitrary part labels.
+
+    Unlike :func:`part_weights`, parts are whatever hashable labels the
+    assignment uses (partition *names* in the oracle's location map).
+    Vertices absent from the assignment are ignored; labels present in
+    the assignment but without any graph vertex do not appear — pass
+    ``k`` to :func:`imbalance_by_label` to account for empty parts.
+    """
+    weights: dict = {}
+    for v in graph.vertices():
+        part = assignment.get(v)
+        if part is not None:
+            weights[part] = weights.get(part, 0.0) + graph.vertex_weight(v)
+    return weights
+
+
+def imbalance_by_label(graph: WorkloadGraph, assignment: Mapping, k: int) -> float:
+    """max part weight / ideal - 1 over label-keyed parts; 0 = balanced.
+
+    ``k`` is the number of parts the ideal is computed against (empty
+    parts count: a 4-partition system with all weight on one partition
+    is imbalanced by 3.0, not 0.0).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    weights = part_weights_by_label(graph, assignment)
+    total = sum(weights.values())
+    if total == 0:
+        return 0.0
+    return max(weights.values()) / (total / k) - 1.0
+
+
+def weighted_hot_vertices(graph: WorkloadGraph, n: int) -> list[tuple]:
+    """The ``n`` heaviest vertices as (vertex, weight) pairs.
+
+    Sorted by descending vertex weight, ties broken deterministically by
+    ``repr(vertex)`` so seeded runs always report the same hot set.  The
+    partition-health sampler uses this for its hot-key top-N; it is also
+    handy standalone ("which users are currently hot?").
+    """
+    if n <= 0:
+        return []
+    ranked = sorted(
+        ((v, graph.vertex_weight(v)) for v in graph.vertices()),
+        key=lambda pair: (-pair[1], repr(pair[0])),
+    )
+    return ranked[:n]

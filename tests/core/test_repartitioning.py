@@ -128,7 +128,7 @@ class TestStaleCacheRetry:
         paired_workload(system, 40, total=2000)
         system.run(until=200.0)
         # repartitioning must have invalidated some cached locations
-        assert system.monitor.counters().get("client_retries", 0) >= 1
+        assert system.monitor.counter("client", event="retry").value >= 1
 
 
 class TestManualRepartition:

@@ -1,0 +1,145 @@
+"""Direct unit coverage of ``repro.obs.analyze`` critical-path
+extraction on multi-partition (borrow/return) command trees — the
+shapes the e2e suites only exercise implicitly."""
+
+import pytest
+
+from repro.obs.analyze import (
+    UNTRACED,
+    TraceSet,
+    check_integrity,
+    critical_path,
+    stage_breakdown,
+)
+from repro.obs.trace import Tracer
+
+
+def multi_partition_trace(tracer: Tracer, uid: str, base: float = 0.0):
+    """The canonical borrow-and-return span tree of one cross-partition
+    transfer: ordering, a borrow window in which execution happens,
+    the return of borrowed state, then the reply."""
+    t = lambda dt: base + dt
+    tracer.start_trace(uid, t(0.0), op="transfer", multi=True)
+    tracer.begin(uid, "oracle-lookup", t(0.5), disc=1)
+    tracer.finish(uid, "oracle-lookup", t(2.0), disc=1)
+    tracer.begin(uid, "multicast-order", t(2.0), disc=1)
+    tracer.finish(uid, "multicast-order", t(4.0), disc=1)
+    tracer.begin(uid, "borrow", t(4.0), disc=1)
+    tracer.begin(uid, "execute", t(5.0), disc=1)
+    tracer.finish(uid, "execute", t(6.0), disc=1)
+    tracer.finish(uid, "borrow", t(7.0), disc=1)
+    tracer.begin(uid, "return", t(7.0), disc=1)
+    tracer.finish(uid, "return", t(9.0), disc=1)
+    tracer.begin(uid, "reply", t(9.0), disc=1)
+    tracer.finish(uid, "reply", t(9.5), disc=1)
+    tracer.finish_trace(uid, t(10.0), status="ok")
+
+
+class TestCriticalPathOnBorrowReturnTrees:
+    @pytest.fixture()
+    def traces(self):
+        tracer = Tracer()
+        multi_partition_trace(tracer, "m:1")
+        return TraceSet.from_tracer(tracer)
+
+    def test_tree_passes_integrity(self, traces):
+        assert check_integrity(traces) == []
+
+    def test_every_instant_charged_to_one_stage(self, traces):
+        shares = critical_path(traces, "m:1")
+        assert shares == pytest.approx(
+            {
+                UNTRACED: 1.0,  # 0-0.5 before lookup, 9.5-10 after reply
+                "oracle-lookup": 1.5,
+                "multicast-order": 2.0,
+                "borrow": 2.0,  # 4-5 and 6-7: borrow minus execute
+                "execute": 1.0,  # nested span wins its window
+                "return": 2.0,
+                "reply": 0.5,
+            }
+        )
+
+    def test_shares_sum_to_root_duration(self, traces):
+        shares = critical_path(traces, "m:1")
+        root = traces.root("m:1")
+        assert sum(shares.values()) == pytest.approx(root.duration)
+
+    def test_nested_execute_beats_enclosing_borrow(self, traces):
+        """The deepest covering span wins its segment: execute time must
+        not be double-charged to the enclosing borrow window."""
+        shares = critical_path(traces, "m:1")
+        assert shares["execute"] == pytest.approx(1.0)
+        assert shares["borrow"] == pytest.approx(2.0)
+
+
+class TestCriticalPathRetriedAttempts:
+    def test_two_borrow_attempts_both_charged(self):
+        """A retried multi-partition command has two borrow spans under
+        distinct attempt discriminators; both contribute."""
+        tracer = Tracer()
+        uid = "m:2"
+        tracer.start_trace(uid, 0.0, op="transfer", multi=True)
+        tracer.begin(uid, "borrow", 1.0, disc=1)
+        tracer.finish(uid, "borrow", 2.0, disc=1, aborted=True)
+        tracer.begin(uid, "borrow", 3.0, disc=2)
+        tracer.finish(uid, "borrow", 5.0, disc=2)
+        tracer.finish_trace(uid, 6.0, status="ok")
+        shares = critical_path(TraceSet.from_tracer(tracer), uid)
+        assert shares["borrow"] == pytest.approx(3.0)
+        assert shares[UNTRACED] == pytest.approx(3.0)
+
+    def test_same_start_ties_break_to_deeper_span(self):
+        """borrow and its execute child starting at the same instant:
+        the deeper (child) span owns the shared segment."""
+        tracer = Tracer()
+        uid = "m:3"
+        tracer.start_trace(uid, 0.0)
+        borrow = tracer.begin(uid, "borrow", 1.0, disc=1)
+        tracer.begin(uid, "execute", 1.0, disc=1, parent=borrow)
+        tracer.finish(uid, "execute", 2.0, disc=1)
+        tracer.finish(uid, "borrow", 3.0, disc=1)
+        tracer.finish_trace(uid, 4.0)
+        shares = critical_path(TraceSet.from_tracer(tracer), uid)
+        assert shares["execute"] == pytest.approx(1.0)
+        assert shares["borrow"] == pytest.approx(1.0)
+
+    def test_incomplete_trace_yields_no_path(self):
+        tracer = Tracer()
+        tracer.start_trace("m:4", 0.0)
+        tracer.begin("m:4", "borrow", 1.0, disc=1)
+        shares = critical_path(TraceSet.from_tracer(tracer), "m:4")
+        assert shares == {}
+
+    def test_span_clipped_to_root_interval(self):
+        """A return span force-closed after the root finished must not
+        push the attribution past the root's end."""
+        tracer = Tracer()
+        uid = "m:5"
+        tracer.start_trace(uid, 0.0)
+        tracer.begin(uid, "return", 1.0, disc=1)
+        root = tracer.finish(uid, "command", 2.0)
+        # simulate a stage span whose end leaks past the root
+        span = next(s for s in tracer.spans if s.name == "return")
+        span.finish(5.0)
+        shares = critical_path(TraceSet.from_tracer(tracer), uid)
+        assert sum(shares.values()) == pytest.approx(2.0)
+        assert shares["return"] == pytest.approx(1.0)
+
+
+class TestStageBreakdownOverManyTraces:
+    def test_breakdown_aggregates_across_borrow_return_trees(self):
+        tracer = Tracer()
+        for i in range(4):
+            multi_partition_trace(tracer, f"m:{i}", base=20.0 * i)
+        report = stage_breakdown(TraceSet.from_tracer(tracer))
+        assert report["traces"] == 4
+        assert report["end_to_end"]["mean"] == pytest.approx(10.0)
+        critical = {row["stage"]: row for row in report["critical"]}
+        assert critical["borrow"]["count"] == 4
+        assert critical["borrow"]["mean"] == pytest.approx(2.0)
+        # critical-path totals over all stages == total end-to-end time
+        total = sum(row["total"] for row in report["critical"])
+        assert total == pytest.approx(4 * 10.0)
+        # durations report raw (overlapping) spans: borrow is 3.0 long
+        durations = {row["stage"]: row for row in report["durations"]}
+        assert durations["borrow"]["mean"] == pytest.approx(3.0)

@@ -1,0 +1,206 @@
+"""Oracle decision audit log: unit behavior, end-to-end recording
+through a repartitioning run, and byte-identical determinism."""
+
+import io
+import random
+
+import pytest
+
+from repro.core import DynaStarSystem, SystemConfig
+from repro.core.client import CallbackWorkload
+from repro.obs import audit as audit_mod
+from repro.obs.audit import NULL_AUDIT, AuditLog, load_audit_jsonl
+from repro.sim import ConstantLatency
+from repro.smr import Command, KeyValueApp
+
+
+class TestAuditLogUnit:
+    def test_records_in_order_with_sequential_seq(self):
+        log = AuditLog()
+        log.record("a", 1.0, x=1)
+        log.record("b", 2.0, y="s")
+        assert [r["seq"] for r in log.records] == [0, 1]
+        assert [r["kind"] for r in log.records] == ["a", "b"]
+        assert log.records[0]["x"] == 1
+
+    def test_disabled_log_records_nothing(self):
+        log = AuditLog(enabled=False)
+        assert log.record("a", 1.0) is None
+        assert log.decision(1.0, 1, "threshold", True, {}, {}) is None
+        assert len(log) == 0
+
+    def test_null_audit_is_disabled(self):
+        assert not NULL_AUDIT.enabled
+        assert len(NULL_AUDIT) == 0
+
+    def test_values_cleaned_at_record_time(self):
+        log = AuditLog()
+        mutable = {"inner": [1, 2], ("tuple", "key"): 3}
+        log.record("a", 0.0, data=mutable)
+        mutable["inner"].append(99)
+        record = log.records[0]
+        assert record["data"]["inner"] == [1, 2]
+        # non-string keys are stringified so JSON export cannot fail
+        assert "('tuple', 'key')" in record["data"]
+
+    def test_decision_convenience_shape(self):
+        log = AuditLog()
+        log.decision(
+            t=3.0,
+            version=2,
+            trigger="threshold",
+            published=False,
+            inputs={"vertices": 10},
+            outputs={"edge_cut_after": 1.5},
+        )
+        (record,) = log.decisions()
+        assert record["kind"] == audit_mod.DECISION
+        assert record["version"] == 2
+        assert record["published"] is False
+        assert record["inputs"]["vertices"] == 10
+
+    def test_export_load_roundtrip(self, tmp_path):
+        log = AuditLog()
+        log.record("a", 1.0, x=1)
+        log.record("b", 2.0, y=[1, "z"])
+        path = str(tmp_path / "audit.jsonl")
+        assert log.export_jsonl(path) == 2
+        loaded = load_audit_jsonl(path)
+        assert loaded == log.to_records()
+
+    def test_by_kind_and_reset(self):
+        log = AuditLog()
+        log.record("a", 1.0)
+        log.record("b", 2.0)
+        log.record("a", 3.0)
+        assert len(log.by_kind("a")) == 2
+        log.reset()
+        assert len(log) == 0
+        log.record("c", 4.0)
+        assert log.records[0]["seq"] == 0
+
+
+def build_audited_system(n_keys=40, n_partitions=4, seed=3, threshold=400,
+                         audit=True, health_period=None):
+    app = KeyValueApp({f"k{i}": i for i in range(n_keys)})
+    config = SystemConfig(
+        n_partitions=n_partitions,
+        seed=seed,
+        latency=ConstantLatency(0.001),
+        repartition_enabled=True,
+        repartition_threshold=threshold,
+        hint_period=0.5,
+        audit=audit,
+        health_sample_period=health_period,
+    )
+    return DynaStarSystem(app, config)
+
+
+def paired_workload(system, n_keys, total, seed=1, clients=4):
+    rng = random.Random(seed)
+    state = {"count": 0}
+
+    def gen(client):
+        if state["count"] >= total:
+            return None
+        state["count"] += 1
+        base = 2 * rng.randrange(n_keys // 2)
+        return Command(
+            f"{client.name}:{state['count']}",
+            "transfer",
+            (f"k{base}", f"k{base + 1}", 1),
+        )
+
+    return [system.add_client(CallbackWorkload(gen)) for _ in range(clients)]
+
+
+def run_audited(seed=3):
+    system = build_audited_system(seed=seed)
+    paired_workload(system, 40, total=1500)
+    system.run(until=120.0)
+    return system
+
+
+class TestAuditEndToEnd:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return run_audited()
+
+    def test_decisions_recorded_for_published_plans(self, system):
+        decisions = system.audit.decisions()
+        published = [d for d in decisions if d["published"]]
+        assert len(published) >= 1
+        assert len(published) == system.monitor.counters()["plans_applied"]
+
+    def test_decision_inputs_and_outputs_populated(self, system):
+        for decision in system.audit.decisions():
+            inputs, outputs = decision["inputs"], decision["outputs"]
+            assert inputs["vertices"] > 0
+            assert inputs["threshold"] == 400
+            assert inputs["trigger_changes"] >= 400
+            assert decision["trigger"] == "threshold"
+            for key in (
+                "edge_cut_before", "edge_cut_after",
+                "imbalance_before", "imbalance_after",
+                "vertices_moved", "moved_top", "partition_delta",
+            ):
+                assert key in outputs
+            # the hysteresis rule: published plans must beat the incumbent
+            if decision["published"] and decision["version"] > 1:
+                assert outputs["edge_cut_after"] < outputs["edge_cut_before"]
+
+    def test_moved_counts_match_partition_delta(self, system):
+        for decision in system.audit.decisions():
+            outputs = decision["outputs"]
+            gained = sum(
+                d["gained"] for d in outputs["partition_delta"].values()
+            )
+            lost = sum(d["lost"] for d in outputs["partition_delta"].values())
+            assert gained == lost == outputs["vertices_moved"]
+
+    def test_lifecycle_times_are_ordered(self, system):
+        """decision <= published <= applied <= quiesce per version."""
+        records = system.audit.to_records()
+        by_version = {}
+        for record in records:
+            by_version.setdefault(record["version"], []).append(record)
+        published_versions = {
+            d["version"] for d in system.audit.decisions() if d["published"]
+        }
+        assert published_versions  # the run must repartition at least once
+        for version in published_versions:
+            group = by_version[version]
+            t_of = lambda kind: [r["t"] for r in group if r["kind"] == kind]
+            (t_decision,) = t_of(audit_mod.DECISION)
+            assert t_of(audit_mod.PUBLISHED), f"v{version} never published"
+            t_published = min(t_of(audit_mod.PUBLISHED))
+            assert t_decision <= t_published
+            applied = t_of(audit_mod.APPLIED)
+            assert applied and min(applied) >= t_published
+            for t in t_of(audit_mod.QUIESCE):
+                assert t >= min(applied)
+
+    def test_relocations_reference_known_partitions(self, system):
+        for record in system.audit.by_kind(audit_mod.RELOCATION):
+            assert record["partition"] in system.partition_names
+            assert record["objects_out"] >= 0
+            assert record["nodes_out"] + record["nodes_in"] > 0
+
+    def test_audit_disabled_records_nothing(self):
+        system = build_audited_system(audit=False)
+        paired_workload(system, 40, total=600)
+        system.run(until=60.0)
+        assert len(system.audit) == 0
+        assert system.audit is NULL_AUDIT
+
+
+class TestAuditDeterminism:
+    def test_run_twice_byte_identical_jsonl(self):
+        outputs = []
+        for _ in range(2):
+            system = run_audited(seed=7)
+            buffer = io.StringIO()
+            system.audit.export_jsonl(buffer)
+            outputs.append(buffer.getvalue())
+        assert outputs[0] == outputs[1]
+        assert outputs[0]  # non-empty: the run actually repartitioned

@@ -1,0 +1,146 @@
+"""Partition-health sampler: windowed samples, graph-quality series,
+pure-observer property, and byte-identical determinism."""
+
+import io
+
+import pytest
+
+from repro.core import DynaStarSystem, SystemConfig
+from repro.core.client import ScriptedWorkload
+from repro.obs.health import PartitionHealthSampler, load_health_jsonl
+from repro.sim import ConstantLatency
+from repro.smr import Command, KeyValueApp
+
+
+def build_system(health_period=1.0, n_keys=8, n_partitions=2, seed=42,
+                 tracing=False):
+    app = KeyValueApp({f"k{i}": 100 for i in range(n_keys)})
+    config = SystemConfig(
+        n_partitions=n_partitions,
+        seed=seed,
+        latency=ConstantLatency(0.001),
+        health_sample_period=health_period,
+        tracing=tracing,
+    )
+    return DynaStarSystem(app, config)
+
+
+def mixed_commands(system):
+    loc = system.initial_assignment
+    keys = sorted(loc)
+    key_a = keys[0]
+    key_b = next(k for k in keys if loc[k] != loc[key_a])
+    return [
+        Command("c:1", "read", (key_a,)),
+        Command("c:2", "write", (key_a, 250)),
+        Command("c:3", "sum", (key_a, key_b)),
+        Command("c:4", "transfer", (key_a, key_b, 50)),
+        Command("c:5", "read", (key_b,)),
+    ]
+
+
+class TestSamplerBasics:
+    @pytest.fixture(scope="class")
+    def run(self):
+        system = build_system()
+        client = system.add_client(ScriptedWorkload(mixed_commands(system)))
+        system.run(until=10.0)
+        assert client.completed == 5
+        return system
+
+    def test_samples_taken_at_fixed_periods(self, run):
+        samples = run.health.samples
+        assert len(samples) == 10
+        assert [s["t"] for s in samples] == [float(i) for i in range(1, 11)]
+
+    def test_per_partition_entries_cover_all_partitions(self, run):
+        for sample in run.health.samples:
+            assert set(sample["partitions"]) == set(run.partition_names)
+            for entry in sample["partitions"].values():
+                for key in (
+                    "executed", "multi", "single", "queue_depth",
+                    "admission_depth", "owned_nodes", "variables",
+                    "in_transit",
+                ):
+                    assert key in entry
+                assert entry["single"] == entry["executed"] - entry["multi"]
+
+    def test_window_deltas_sum_to_totals(self, run):
+        total = {
+            name: sum(
+                s["partitions"][name]["executed"] for s in run.health.samples
+            )
+            for name in run.partition_names
+        }
+        for name in run.partition_names:
+            server = run.servers(name)[0]
+            assert total[name] == server.executed_count
+
+    def test_graph_quality_section_present(self, run):
+        last = run.health.samples[-1]
+        graph = last["graph"]
+        assert graph["vertices"] == 8
+        assert graph["edge_cut"] >= 0.0
+        assert 0.0 <= graph["cut_fraction"] <= 1.0
+        assert graph["imbalance"] >= 0.0
+        assert len(last["hot"]) <= 5
+        # hot list is sorted by descending weight
+        weights = [w for _, w in last["hot"]]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_monitor_series_recorded(self, run):
+        snapshot = run.monitor.snapshot()
+        assert any(k.startswith("health_load") for k in snapshot["series"])
+        assert "health_edge_cut" in snapshot["series"]
+
+    def test_export_load_roundtrip(self, run, tmp_path):
+        path = str(tmp_path / "health.jsonl")
+        n = run.health.export_jsonl(path)
+        assert n == len(run.health.samples)
+        assert load_health_jsonl(path) == run.health.to_records()
+
+
+class TestSamplerConfig:
+    def test_disabled_system_has_no_sampler(self):
+        system = build_system(health_period=None)
+        system.run(until=2.0)
+        assert system.health is None
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionHealthSampler(object(), period=0.0)
+
+    def test_start_is_idempotent(self):
+        system = build_system()
+        system.start()
+        system.health.start()  # second call must not double-schedule
+        system.sim.run(until=3.0)
+        assert len(system.health.samples) == 3
+
+
+class TestSamplerIsPureObserver:
+    def test_traces_identical_with_sampler_on_and_off(self):
+        """The sampler reads state but never perturbs the protocol: the
+        trace export must be byte-identical with sampling on or off."""
+        exports = []
+        for period in (None, 0.25):
+            system = build_system(health_period=period, tracing=True)
+            system.add_client(ScriptedWorkload(mixed_commands(system)))
+            system.run(until=10.0)
+            buffer = io.StringIO()
+            system.tracer.export_jsonl(buffer)
+            exports.append(buffer.getvalue())
+        assert exports[0] == exports[1]
+        assert exports[0]
+
+    def test_run_twice_byte_identical_jsonl(self):
+        exports = []
+        for _ in range(2):
+            system = build_system()
+            system.add_client(ScriptedWorkload(mixed_commands(system)))
+            system.run(until=10.0)
+            buffer = io.StringIO()
+            system.health.export_jsonl(buffer)
+            exports.append(buffer.getvalue())
+        assert exports[0] == exports[1]
+        assert exports[0]

@@ -1,0 +1,201 @@
+"""The run-report CLI: artifact loading, section assembly, rendering,
+exit codes, and byte-identical determinism of the JSON report."""
+
+import io
+import json
+import random
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.core import DynaStarSystem, SystemConfig
+from repro.core.client import CallbackWorkload, ScriptedWorkload
+from repro.experiments.harness import export_run_artifacts
+from repro.obs import report as report_mod
+from repro.sim import ConstantLatency
+from repro.smr import Command, KeyValueApp
+
+
+def build_obs_system(n_keys=40, n_partitions=4, seed=3, threshold=400):
+    app = KeyValueApp({f"k{i}": i for i in range(n_keys)})
+    config = SystemConfig(
+        n_partitions=n_partitions,
+        seed=seed,
+        latency=ConstantLatency(0.001),
+        repartition_enabled=True,
+        repartition_threshold=threshold,
+        hint_period=0.5,
+        tracing=True,
+        audit=True,
+        health_sample_period=1.0,
+    )
+    return DynaStarSystem(app, config)
+
+
+def paired_workload(system, n_keys, total, seed=1, clients=4):
+    rng = random.Random(seed)
+    state = {"count": 0}
+
+    def gen(client):
+        if state["count"] >= total:
+            return None
+        state["count"] += 1
+        base = 2 * rng.randrange(n_keys // 2)
+        return Command(
+            f"{client.name}:{state['count']}",
+            "transfer",
+            (f"k{base}", f"k{base + 1}", 1),
+        )
+
+    return [system.add_client(CallbackWorkload(gen)) for _ in range(clients)]
+
+
+def run_and_export(directory, seed=3, total=1500):
+    system = build_obs_system(seed=seed)
+    paired_workload(system, 40, total=total)
+    system.run(until=120.0)
+    written = export_run_artifacts(system, str(directory))
+    return system, written
+
+
+class TestArtifactExport:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("run")
+        system, written = run_and_export(directory)
+        return directory, system, written
+
+    def test_all_four_artifacts_written(self, artifacts):
+        _, _, written = artifacts
+        assert set(written) == {"trace", "metrics", "audit", "health"}
+
+    def test_metrics_json_parses(self, artifacts):
+        directory, _, _ = artifacts
+        with open(directory / "metrics.json") as fh:
+            snapshot = json.load(fh)
+        assert set(snapshot) == {"counters", "gauges", "histograms", "series"}
+
+    def test_report_builds_all_sections(self, artifacts):
+        directory, system, _ = artifacts
+        loaded = report_mod.load_artifacts(str(directory))
+        report = report_mod.build_report(loaded)
+        assert report["run"]["completed"] > 0
+        assert set(report["partitions"]["per_partition"]) == set(
+            system.partition_names
+        )
+        assert len(report["repartitions"]) >= 1
+        assert report["graph"]["last"]["vertices"] > 0
+        assert report["stages"]["traces"] > 0
+
+    def test_repartition_events_carry_cost_attribution(self, artifacts):
+        directory, system, _ = artifacts
+        loaded = report_mod.load_artifacts(str(directory))
+        report = report_mod.build_report(loaded)
+        published = [
+            e for e in report["repartitions"] if e.get("published")
+        ]
+        assert published
+        for event in published:
+            timing = event["timing"]
+            assert timing["compute"] >= 0.0
+            assert timing["multicast"] > 0.0
+            assert timing["total"] == pytest.approx(
+                sum(v for k, v in timing.items() if k != "total")
+            )
+            assert event["outputs"]["vertices_moved"] >= 0
+
+    def test_moved_section_ranked_by_weight(self, artifacts):
+        directory, _, _ = artifacts
+        loaded = report_mod.load_artifacts(str(directory))
+        moved = report_mod.build_report(loaded)["moved"]
+        weights = [entry["weight"] for entry in moved]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_cli_text_and_json_exit_zero(self, artifacts, capsys):
+        directory, _, _ = artifacts
+        assert report_mod.main([str(directory)]) == 0
+        text = capsys.readouterr().out
+        assert "== Repartitions" in text
+        assert report_mod.main([str(directory), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "repartitions" in payload
+
+    def test_cli_out_file(self, artifacts, tmp_path):
+        directory, _, _ = artifacts
+        out = tmp_path / "report.json"
+        assert (
+            report_mod.main(
+                [str(directory), "--format", "json", "--out", str(out)]
+            )
+            == 0
+        )
+        assert json.loads(out.read_text())["run"]["completed"] > 0
+
+
+class TestRepartitionSection:
+    def test_suppressed_decisions_sharing_a_version_keep_own_entries(self):
+        """Hysteresis-suppressed decisions never bump the oracle
+        version, so several carry the same candidate version; the
+        report must not collapse them into one event."""
+        audit = [
+            {"kind": "repartition-decision", "seq": 0, "t": 1.0,
+             "version": 1, "trigger": "threshold", "published": True,
+             "inputs": {}, "outputs": {}},
+            {"kind": "plan-published", "seq": 1, "t": 1.5, "version": 1},
+            {"kind": "plan-applied", "seq": 2, "t": 2.0, "version": 1},
+            {"kind": "repartition-decision", "seq": 3, "t": 3.0,
+             "version": 2, "trigger": "threshold", "published": False,
+             "inputs": {}, "outputs": {}},
+            {"kind": "repartition-decision", "seq": 4, "t": 4.0,
+             "version": 2, "trigger": "threshold", "published": False,
+             "inputs": {}, "outputs": {}},
+        ]
+        events = report_mod._repartition_section(audit)
+        assert [(e["version"], e["published"]) for e in events] == [
+            (1, True), (2, False), (2, False)
+        ]
+        assert events[0]["timing"]["compute"] == pytest.approx(0.5)
+        assert events[0]["timing"]["multicast"] == pytest.approx(0.5)
+        # suppressed decisions own no lifecycle records
+        assert "timing" not in events[1]
+
+
+class TestCLIErrors:
+    def test_missing_directory_exits_2(self, capsys):
+        assert report_mod.main(["/nonexistent-run-dir"]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_empty_directory_exits_2(self, tmp_path, capsys):
+        assert report_mod.main([str(tmp_path)]) == 2
+        assert "no artifacts" in capsys.readouterr().err
+
+    def test_partial_artifacts_still_report(self, tmp_path, capsys):
+        """A metrics-only directory (tracing off) must still produce a
+        report rather than erroring."""
+        system = DynaStarSystem(
+            KeyValueApp({"k0": 0, "k1": 1}),
+            SystemConfig(n_partitions=2, seed=5, latency=ConstantLatency(0.001)),
+        )
+        system.add_client(
+            ScriptedWorkload([Command("c:1", "read", ("k0",))])
+        )
+        system.run(until=5.0)
+        export_run_artifacts(system, str(tmp_path))
+        assert report_mod.main([str(tmp_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repartitions"] == []
+        assert "stages" not in payload
+
+
+class TestReportDeterminism:
+    def test_json_report_byte_identical_across_runs(self, tmp_path):
+        outputs = []
+        for i in range(2):
+            directory = tmp_path / f"run{i}"
+            run_and_export(directory, seed=7)
+            buffer = io.StringIO()
+            with redirect_stdout(buffer):
+                assert report_mod.main([str(directory), "--format", "json"]) == 0
+            outputs.append(buffer.getvalue())
+        assert outputs[0] == outputs[1]
+        assert outputs[0]

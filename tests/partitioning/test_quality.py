@@ -1,0 +1,106 @@
+"""Unit tests for partition-quality helpers, including the label-keyed
+variants and the hot-vertex ranking used by the health sampler."""
+
+import pytest
+
+from repro.partitioning.graph import WorkloadGraph
+from repro.partitioning.quality import (
+    cut_fraction,
+    edge_cut,
+    imbalance,
+    imbalance_by_label,
+    part_weights,
+    part_weights_by_label,
+    weighted_hot_vertices,
+)
+
+
+def sample_graph():
+    g = WorkloadGraph()
+    g.add_vertex("a", 4.0)
+    g.add_vertex("b", 3.0)
+    g.add_vertex("c", 2.0)
+    g.add_vertex("d", 1.0)
+    g.add_edge("a", "b", 5.0)
+    g.add_edge("b", "c", 2.0)
+    g.add_edge("c", "d", 1.0)
+    return g
+
+
+class TestEdgeCut:
+    def test_cut_counts_only_cross_part_edges(self):
+        g = sample_graph()
+        assignment = {"a": "p0", "b": "p0", "c": "p1", "d": "p1"}
+        assert edge_cut(g, assignment) == 2.0
+        assert cut_fraction(g, assignment) == pytest.approx(2.0 / 8.0)
+
+    def test_label_and_index_metrics_agree(self):
+        g = sample_graph()
+        by_index = {"a": 0, "b": 0, "c": 1, "d": 1}
+        by_label = {"a": "p0", "b": "p0", "c": "p1", "d": "p1"}
+        assert edge_cut(g, by_index) == edge_cut(g, by_label)
+        assert imbalance(g, by_index, 2) == pytest.approx(
+            imbalance_by_label(g, by_label, 2)
+        )
+        assert part_weights(g, by_index, 2) == [7.0, 3.0]
+        assert part_weights_by_label(g, by_label) == {"p0": 7.0, "p1": 3.0}
+
+
+class TestImbalanceByLabel:
+    def test_balanced_assignment_is_zero(self):
+        g = WorkloadGraph()
+        for name in "abcd":
+            g.add_vertex(name, 1.0)
+        assignment = {"a": "x", "b": "x", "c": "y", "d": "y"}
+        assert imbalance_by_label(g, assignment, 2) == pytest.approx(0.0)
+
+    def test_empty_parts_count_against_balance(self):
+        g = WorkloadGraph()
+        g.add_vertex("a", 1.0)
+        g.add_vertex("b", 1.0)
+        assignment = {"a": "x", "b": "x"}
+        # all weight on one of four parts: max/ideal - 1 = 2/(2/4) - 1
+        assert imbalance_by_label(g, assignment, 4) == pytest.approx(3.0)
+
+    def test_unassigned_vertices_ignored(self):
+        g = sample_graph()
+        assert part_weights_by_label(g, {"a": "p0"}) == {"p0": 4.0}
+
+    def test_zero_weight_graph_is_balanced(self):
+        g = WorkloadGraph()
+        assert imbalance_by_label(g, {}, 3) == 0.0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            imbalance_by_label(WorkloadGraph(), {}, 0)
+
+
+class TestWeightedHotVertices:
+    def test_ranked_by_descending_weight(self):
+        g = sample_graph()
+        assert weighted_hot_vertices(g, 2) == [("a", 4.0), ("b", 3.0)]
+
+    def test_n_larger_than_graph_returns_all(self):
+        g = sample_graph()
+        assert len(weighted_hot_vertices(g, 100)) == 4
+
+    def test_nonpositive_n_returns_empty(self):
+        g = sample_graph()
+        assert weighted_hot_vertices(g, 0) == []
+        assert weighted_hot_vertices(g, -1) == []
+
+    def test_ties_break_deterministically_by_repr(self):
+        g = WorkloadGraph()
+        for name in ("z", "y", "x"):
+            g.add_vertex(name, 1.0)
+        assert weighted_hot_vertices(g, 3) == [
+            ("x", 1.0),
+            ("y", 1.0),
+            ("z", 1.0),
+        ]
+
+    def test_tuple_vertices_supported(self):
+        g = WorkloadGraph()
+        g.add_vertex(("user", 7), 9.0)
+        g.add_vertex(("user", 3), 1.0)
+        assert weighted_hot_vertices(g, 1) == [(("user", 7), 9.0)]
