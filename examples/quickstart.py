@@ -11,14 +11,89 @@ Run:  python examples/quickstart.py
       python -m repro.obs.explain /tmp/quickstart-trace.jsonl
       python examples/quickstart.py --obs /tmp/quickstart-obs
       python -m repro.obs.report /tmp/quickstart-obs
+      python examples/quickstart.py --elastic --obs /tmp/quickstart-elastic
+      python -m repro.obs.report /tmp/quickstart-elastic --check-reconfig
 """
 
 import argparse
+import random
 
 from repro.core import DynaStarSystem, SystemConfig
 from repro.core.client import ScriptedWorkload
 from repro.sim import ConstantLatency
 from repro.smr import Command, KeyValueApp
+
+
+def run_elastic(args) -> None:
+    """The elastic variant: a seeded hot-key workload against low split
+    thresholds, so the oracle splits a partition online within the run —
+    the CI elastic smoke checks the exported artifacts with
+    ``python -m repro.obs.report DIR --check-reconfig``."""
+    app = KeyValueApp({f"account{i}": 100 for i in range(12)})
+    system = DynaStarSystem(
+        app,
+        SystemConfig(
+            n_partitions=2,
+            seed=42,
+            latency=ConstantLatency(0.001),
+            repartition_enabled=False,
+            elastic_enabled=True,
+            elastic_split_factor=1.5,
+            elastic_eval_interval=100,
+            elastic_cooldown=200,
+            max_partitions=4,
+            min_partitions=2,
+            hint_period=0.25,
+            idempotency_keys=True,
+            tracing=args.trace is not None or args.obs is not None,
+            audit=True,
+            health_sample_period=1.0 if args.obs is not None else None,
+        ),
+    )
+    before = len(system.partition_names)
+    # Hammer the keys of the node-heaviest partition: its windowed access
+    # share blows through the split factor (and it is guaranteed to hold
+    # enough nodes to be splittable) so the oracle splits it online.
+    by_partition: dict = {}
+    for node, part in system.initial_assignment.items():
+        by_partition.setdefault(part, []).append(node)
+    hot = sorted(max(by_partition.values(), key=lambda nodes: (len(nodes), nodes)))
+    every = sorted(system.initial_assignment)
+    rng = random.Random(42)
+    commands = []
+    for i in range(800):
+        key = rng.choice(hot) if rng.random() < 0.9 else rng.choice(every)
+        if rng.random() < 0.5:
+            commands.append(Command(f"c:{i}", "read", (key,)))
+        else:
+            commands.append(Command(f"c:{i}", "write", (key, i)))
+    client = system.add_client(ScriptedWorkload(commands))
+    system.run(until=30.0)
+
+    after = len(system.partition_names)
+    print(f"partitions: {before} -> {after} "
+          f"({', '.join(sorted(system.partition_names))})")
+    reconfigs = [
+        r for r in system.audit.records if r["kind"].startswith("reconfig-")
+    ]
+    for record in reconfigs:
+        detail = " ".join(
+            f"{k}={record[k]}"
+            for k in ("epoch", "op", "source", "target", "partition")
+            if k in record
+        )
+        print(f"  t={record['t']:.3f} {record['kind']} {detail}")
+    print(f"completed={client.completed}  failed={client.failed}")
+    if after == before:
+        raise SystemExit("elastic quickstart did not change the partition count")
+
+    if args.obs:
+        from repro.experiments.harness import export_run_artifacts
+
+        written = export_run_artifacts(system, args.obs)
+        print(f"wrote run artifacts to {args.obs}: " + ", ".join(sorted(written)))
+        print(f"check them with: python -m repro.obs.report {args.obs} "
+              "--check-reconfig")
 
 
 def main() -> None:
@@ -36,9 +111,18 @@ def main() -> None:
         help="enable tracing, decision auditing, and health sampling, "
         "and export all run artifacts into DIR (for repro.obs.report)",
     )
+    parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help="run the elastic variant: a hot-key workload that makes the "
+        "oracle split a partition at runtime",
+    )
     # parse_known_args: the test suite runs this file under runpy with
     # pytest's own argv still in place.
     args, _ = parser.parse_known_args()
+    if args.elastic:
+        run_elastic(args)
+        return
     # 1. An application: a multi-key key-value store.  Every key is one
     #    DynaStar state variable (and one workload-graph node).
     app = KeyValueApp({f"account{i}": 100 for i in range(8)})

@@ -14,6 +14,7 @@ oracle.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from collections import Counter
 from typing import Any, Optional
@@ -27,6 +28,7 @@ from repro.core.messages import (
     ProphecyStatus,
     ServerBusy,
 )
+from repro.core.oracle import _stable_hash
 from repro.multicast.basecast import GroupDirectory
 from repro.multicast.messages import MulticastMessage
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -117,6 +119,7 @@ class DynaStarClient(Actor):
         breaker_cooldown: float = 1.0,
         breaker_jitter: float = 0.0,
         think_time: Optional[float] = None,
+        idempotency_keys: bool = False,
         rng: Optional[random.Random] = None,
         tracer: Optional[Tracer] = None,
     ):
@@ -181,6 +184,12 @@ class DynaStarClient(Actor):
         #: Arrival-rate multiplier; the ``overload_burst`` fault raises it
         #: to model a flash crowd and restores it when the burst ends.
         self.load_factor = 1.0
+        #: Stamp every command with a client-generated idempotency key.
+        #: A give-up-and-resubmit of the same logical operation reuses the
+        #: key under a fresh uid, and the servers' key-indexed result
+        #: cache answers instead of re-executing.
+        self.idempotency_keys = idempotency_keys
+        self._ik_seq = 0
 
         self.cache: dict[Any, str] = {}
         self.completed = 0
@@ -214,6 +223,11 @@ class DynaStarClient(Actor):
         if command is None:
             self.done = True
             return
+        if self.idempotency_keys and command.idem_key is None:
+            self._ik_seq += 1
+            command = dataclasses.replace(
+                command, idem_key=f"ik:{self.name}:{self._ik_seq}"
+            )
         # Think time models arrival rate (scaled by the flash-crowd
         # multiplier); the token bucket then throttles *new* commands —
         # retries are governed by the retry budget instead, so the
@@ -334,10 +348,20 @@ class DynaStarClient(Actor):
         if self._attempt >= self.max_attempts:
             self._give_up("server busy")
             return
-        if self.retry_budget is not None and not self.retry_budget.withdraw():
-            self._give_up("retry budget exhausted")
-            return
-        self._record_overload_signal()
+        if busy.reason == "retired":
+            # Not overload: the cached location points at a partition
+            # that drained away.  Drop every entry for it so the retry
+            # falls through to the oracle (whose map already moved on),
+            # and leave the breaker/retry-budget untouched.
+            for node, partition in list(self.cache.items()):
+                if partition == busy.partition:
+                    del self.cache[node]
+            self.monitor.counter("client", event="retired_redirect").inc()
+        else:
+            if self.retry_budget is not None and not self.retry_budget.withdraw():
+                self._give_up("retry budget exhausted")
+                return
+            self._record_overload_signal()
         # Retry-After-aware backoff: at least the server's hint, growing
         # like the timeout schedule under repeated pushback.
         base = (
@@ -430,13 +454,21 @@ class DynaStarClient(Actor):
 
     def _choose_target(self, locations: tuple) -> str:
         """Same deterministic rule as the oracle: by default the
-        partition with the most nodes, smallest name on ties."""
+        partition with the most nodes, smallest name on ties; ``spread``
+        breaks ties by hashing (uid, attempt), mirroring
+        :meth:`repro.core.oracle.OracleReplica.choose_target`."""
         involved = sorted({p for _, p in locations})
         if self.target_policy == "first":
             return involved[0]
         counts = Counter(p for _, p in locations)
         top = max(counts.values())
-        return sorted(p for p, c in counts.items() if c == top)[0]
+        candidates = sorted(p for p, c in counts.items() if c == top)
+        if self.target_policy == "spread" and len(candidates) > 1:
+            return candidates[
+                _stable_hash((self._current.uid, self._attempt))
+                % len(candidates)
+            ]
+        return candidates[0]
 
     def _dispatch(self, locations: tuple, target: str) -> None:
         command = self._current

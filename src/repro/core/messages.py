@@ -109,13 +109,52 @@ class ExecutionHint:
 
 @dataclass(frozen=True, slots=True)
 class PartitionPlan:
-    """Oracle -> everyone: new node -> partition assignment, versioned."""
+    """Oracle -> everyone: new node -> partition assignment, versioned.
+
+    ``retiring`` names partitions this plan strips of every node (a merge
+    cutover): their servers enter draining mode, ship all state out, and
+    announce :class:`DrainComplete` once nothing is left in flight.
+    """
 
     version: int
     assignment: tuple  # ((node, partition), ...)
+    retiring: tuple = ()  # (partition, ...)
 
     def as_dict(self) -> dict:
         return dict(self.assignment)
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigPlan:
+    """Oracle -> oracle: phase 1 of an elastic reconfiguration.
+
+    Epoch-tagged and a-delivered through the oracle's own log, so both
+    oracle replicas commit to the same topology change at the same log
+    position.  ``kind`` is ``"split"`` (``moved`` nodes leave ``source``
+    for the freshly provisioned ``target``) or ``"merge"`` (every node
+    of ``source`` moves to ``target`` and ``source`` retires; the moved
+    set is computed at delivery time so late creates are not stranded).
+    The cutover :class:`PartitionPlan` is derived and multicast at
+    delivery — phase 2.
+    """
+
+    epoch: int
+    kind: str  # "split" | "merge"
+    source: str
+    target: str
+    moved: tuple = ()  # (node, ...) — split only
+
+
+@dataclass(frozen=True, slots=True)
+class DrainComplete:
+    """Retiring partition -> {oracle, itself}: every node shipped, every
+    reliable send acked.  A-delivery at the retiring group is the totally
+    ordered retire point (its replicas flip to ``retired`` at the same
+    log position); a-delivery at the oracle completes the merge.
+    """
+
+    version: int  # cutover plan version (uid-deterministic across replicas)
+    partition: str
 
 
 # ---------------------------------------------------------------------------

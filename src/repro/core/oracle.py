@@ -36,6 +36,7 @@ from repro.core.admission import ADMIT, AdmissionController
 from repro.core.messages import (
     CreateVar,
     DeleteVar,
+    DrainComplete,
     ExecCommand,
     ExecutionHint,
     GlobalCommand,
@@ -44,7 +45,14 @@ from repro.core.messages import (
     PlanTransfer,
     Prophecy,
     ProphecyStatus,
+    ReconfigPlan,
     ServerBusy,
+)
+from repro.elastic.policy import (
+    ElasticConfig,
+    apply_reconfig,
+    decide_reconfig,
+    split_assignment,
 )
 from repro.multicast.basecast import MulticastReplica
 from repro.multicast.messages import MulticastMessage, OrderEvent
@@ -86,10 +94,13 @@ class OracleReplica(MulticastReplica):
         admission_retry_after: float = 0.05,
         admission_ttl: float = 30.0,
         audit: Optional[AuditLog] = None,
+        elastic: Optional[ElasticConfig] = None,
+        on_provision=None,
+        on_retire=None,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
-        if target_policy not in ("most_nodes", "first", "hash"):
+        if target_policy not in ("most_nodes", "first", "hash", "spread"):
             raise ValueError(f"unknown target policy {target_policy!r}")
         if not 0.0 <= graph_decay <= 1.0:
             raise ValueError("graph_decay must be in [0, 1]")
@@ -131,12 +142,41 @@ class OracleReplica(MulticastReplica):
         self.plan_inflight = False
         self.plans_issued = 0
 
+        #: Elastic split/merge policy (None disables elasticity) and the
+        #: system-side hooks that provision/retire groups.  Every elastic
+        #: input below is log-driven, so both replicas decide identically.
+        self.elastic = elastic if mode == "dynastar" else None
+        self.on_provision = on_provision
+        self.on_retire = on_retire
+        self.reconfig_epoch = 0
+        self.reconfig_inflight = False
+        self.reconfigs_done = 0
+        #: Accesses observed since the last policy evaluation, and the
+        #: per-partition window weights they came from.
+        self.elastic_accesses = 0
+        self.elastic_window: Counter = Counter()
+        #: Accesses still to observe before the next reconfig may fire.
+        self.elastic_cooldown_left = 0
+        #: Reconfig computed but not yet multicast (publish-timer crash
+        #: window) — republished on recovery, mirroring ``_pending_plan``.
+        self._pending_reconfig: Optional[ReconfigPlan] = None
+        #: The reconfig whose cutover/drain is still in progress:
+        #: {"epoch", "kind", "source", "target", "cutover_version",
+        #:  "decided_at"} — drives completion matching and audit.
+        self._active_reconfig: Optional[dict] = None
+
         # Exactly-once for create/delete under client retries: remember
         # what each command did (recorded at query-handling time, i.e. at
         # a consistent log position on every replica) so a repeated query
         # replays the outcome instead of answering NOK "exists"/"missing".
         self._done_creates: dict[str, tuple] = {}
         self._done_deletes: dict[str, tuple] = {}
+        # Client idempotency keys: a give-up-and-resubmit arrives under a
+        # *fresh* command uid, so the uid-keyed caches above miss.  The
+        # key -> original-uid maps bridge that gap (same log-position
+        # determinism as the caches they index into).
+        self._idem_creates: dict[str, str] = {}
+        self._idem_deletes: dict[str, str] = {}
         #: Plan computed but whose publish timer had not fired yet —
         #: republished after a crash so repartitioning cannot wedge.
         self._pending_plan: Optional[PartitionPlan] = None
@@ -223,6 +263,10 @@ class OracleReplica(MulticastReplica):
             self._on_hint(payload)
         elif isinstance(payload, PartitionPlan):
             self._on_plan(payload)
+        elif isinstance(payload, ReconfigPlan):
+            self._on_reconfig_plan(payload)
+        elif isinstance(payload, DrainComplete):
+            self._on_drain_complete(payload)
 
     # -- prophecies --------------------------------------------------------------
 
@@ -250,6 +294,10 @@ class OracleReplica(MulticastReplica):
     def _handle_create_query(self, query: OracleQuery) -> None:
         command = query.command
         done = self._done_creates.get(command.uid)
+        if done is None and command.idem_key is not None:
+            original = self._idem_creates.get(command.idem_key)
+            if original is not None:
+                done = self._done_creates.get(original)
         if done is not None:
             # Retried create: replay with an attempt-qualified multicast
             # uid so the CreateVar reaches the partition again (which
@@ -279,6 +327,8 @@ class OracleReplica(MulticastReplica):
             _stable_hash(node) % len(self.partition_names)
         ]
         self._done_creates[command.uid] = (var, node, partition)
+        if command.idem_key is not None:
+            self._idem_creates[command.idem_key] = command.uid
         payload = CreateVar(
             command, var, node, partition, query.client, query.attempt
         )
@@ -295,6 +345,10 @@ class OracleReplica(MulticastReplica):
     def _handle_delete_query(self, query: OracleQuery) -> None:
         command = query.command
         done = self._done_deletes.get(command.uid)
+        if done is None and command.idem_key is not None:
+            original = self._idem_deletes.get(command.idem_key)
+            if original is not None:
+                done = self._done_deletes.get(original)
         if done is not None:
             var, node, partition = done
             payload = DeleteVar(
@@ -319,6 +373,8 @@ class OracleReplica(MulticastReplica):
             self._prophesize(query, ProphecyStatus.NOK, reason="missing")
             return
         self._done_deletes[command.uid] = (var, node, partition)
+        if command.idem_key is not None:
+            self._idem_deletes[command.idem_key] = command.uid
         payload = DeleteVar(
             command, var, node, partition, query.client, query.attempt
         )
@@ -340,7 +396,7 @@ class OracleReplica(MulticastReplica):
             self._prophesize(query, ProphecyStatus.NOK, reason="missing")
             return
         locations = tuple((n, self.location[n]) for n in nodes)
-        target = self.choose_target(locations)
+        target = self.choose_target(locations, command.uid, query.attempt)
         if self.mode == "dssmr" and len({p for _, p in locations}) > 1:
             # DS-SMR: the move is permanent; the map changes right away.
             for node, _ in locations:
@@ -353,13 +409,19 @@ class OracleReplica(MulticastReplica):
         if query.dispatch:
             self._dispatch(query, locations, target)
 
-    def choose_target(self, locations: tuple) -> str:
+    def choose_target(self, locations: tuple, uid: str = "", attempt: int = 0) -> str:
         """The partition that executes a multi-partition command.
 
         Default (``most_nodes``, the paper's rule): the partition holding
         most of the command's nodes, ties broken by name — minimizing the
-        number of relocated variables.  ``first`` / ``hash`` are weaker
-        deterministic policies kept for the ablation benchmark.
+        number of relocated variables.  ``spread`` keeps the most-nodes
+        rule but breaks ties with a seeded hash of ``(uid, attempt)``, so
+        retried and read-heavy queries fan out across the tied partitions
+        instead of always landing on the lexicographically first one —
+        deterministic (every replica computes the same target for the
+        same query) yet balanced across commands.  ``first`` / ``hash``
+        are weaker deterministic policies kept for the ablation
+        benchmark.
         """
         involved = sorted({p for _, p in locations})
         if self.target_policy == "first":
@@ -369,6 +431,8 @@ class OracleReplica(MulticastReplica):
         counts = Counter(p for _, p in locations)
         top = max(counts.values())
         candidates = sorted(p for p, c in counts.items() if c == top)
+        if self.target_policy == "spread" and len(candidates) > 1:
+            return candidates[_stable_hash((uid, attempt)) % len(candidates)]
         return candidates[0]
 
     def _dispatch(self, query: OracleQuery, locations: tuple, target: str) -> None:
@@ -423,12 +487,21 @@ class OracleReplica(MulticastReplica):
             if node in self.location:
                 self.graph.add_vertex(node, weight)
                 accesses += weight
+                if self.elastic is not None:
+                    self.elastic_window[self.location[node]] += weight
         for u, v, weight in hint.edges:
             if u in self.location and v in self.location:
                 self.graph.add_edge(u, v, weight)
         # "changes" counts observed node-accesses, so the threshold reads
         # as "repartition every N accesses".
         self.changes += accesses
+        if self.elastic is not None and accesses:
+            self.elastic_accesses += accesses
+            if self.elastic_cooldown_left > 0:
+                self.elastic_cooldown_left = max(
+                    0, self.elastic_cooldown_left - accesses
+                )
+            self._maybe_reconfigure()
         self._maybe_repartition()
 
     def _maybe_repartition(self) -> None:
@@ -438,6 +511,7 @@ class OracleReplica(MulticastReplica):
         if (
             not self.repartition_enabled
             or self.plan_inflight
+            or self.reconfig_inflight
             or self.changes < self.repartition_threshold
         ):
             return
@@ -452,7 +526,7 @@ class OracleReplica(MulticastReplica):
         the multicast uid is derived from the version, so the plan enters
         every log exactly once no matter how many replicas send it.
         """
-        if self.plan_inflight or not self.partition_names:
+        if self.plan_inflight or self.reconfig_inflight or not self.partition_names:
             return
         self.plan_inflight = True
         audited = self.audit.enabled and self._records_metrics
@@ -586,7 +660,10 @@ class OracleReplica(MulticastReplica):
                 audit_mod.PUBLISHED, self.now,
                 version=plan.version, assignments=len(plan.assignment),
             )
+        # Retiring partitions already left partition_names (future plans
+        # exclude them) but the cutover itself must still reach them.
         dests = [self.group] + self.partition_names
+        dests += [p for p in plan.retiring if p not in dests]
         self._amcast_ordered(dests, plan, uid=f"plan:{plan.version}")
 
     def _on_plan(self, plan: PartitionPlan) -> None:
@@ -606,6 +683,179 @@ class OracleReplica(MulticastReplica):
                     audit_mod.APPLIED, self.now,
                     version=plan.version, actor="oracle",
                 )
+        active = self._active_reconfig
+        if active is not None and plan.version == active["cutover_version"]:
+            self._on_cutover_applied(active)
+
+    # -- elastic reconfiguration (split / merge) ---------------------------------------
+
+    def _maybe_reconfigure(self) -> None:
+        """Log-driven split/merge trigger: evaluated every
+        ``eval_interval`` observed accesses over the window weights —
+        never on local clocks, for the same reason as the repartition
+        trigger."""
+        cfg = self.elastic
+        if (
+            cfg is None
+            or self.reconfig_inflight
+            or self.plan_inflight
+            or self.elastic_cooldown_left > 0
+            or self.elastic_accesses < cfg.eval_interval
+        ):
+            return
+        window = dict(self.elastic_window)
+        self.elastic_accesses = 0
+        self.elastic_window.clear()
+        node_counts: Counter = Counter(self.location.values())
+        decision = decide_reconfig(
+            window, node_counts, self.partition_names, cfg
+        )
+        if decision is None:
+            return
+        self._request_reconfig(decision, window)
+
+    def _request_reconfig(self, decision, window: dict) -> None:
+        """Phase 1: turn a policy verdict into an epoch-tagged
+        :class:`ReconfigPlan` and multicast it through the oracle's own
+        log after the modeled compute delay.  Both replicas compute the
+        identical plan at the same log position and the uid is derived
+        from the epoch, so it enters the log exactly once."""
+        epoch = self.reconfig_epoch + 1
+        if decision.kind == "split":
+            moved = split_assignment(
+                self.graph,
+                self.location,
+                decision.source,
+                seed=epoch,
+                imbalance=self.imbalance,
+            )
+            if not moved:
+                return
+            plan = ReconfigPlan(
+                epoch=epoch,
+                kind="split",
+                source=decision.source,
+                target=f"e{epoch}",
+                moved=moved,
+            )
+        else:
+            plan = ReconfigPlan(
+                epoch=epoch,
+                kind="merge",
+                source=decision.source,
+                target=decision.target,
+            )
+        self.reconfig_inflight = True
+        self.elastic_cooldown_left = self.elastic.cooldown
+        if self.audit.enabled and self._records_metrics:
+            self.audit.record(
+                audit_mod.RECONFIG_DECISION, self.now,
+                epoch=epoch, op=plan.kind,
+                source=plan.source, target=plan.target,
+                moved=len(plan.moved),
+                window=dict(sorted(window.items())),
+                partitions=len(self.partition_names),
+            )
+        self._pending_reconfig = plan
+        delay = self.plan_compute_cost * max(1, self.graph.num_vertices)
+        self.set_timer(delay, lambda: self._publish_reconfig(plan))
+
+    def _publish_reconfig(self, plan: ReconfigPlan) -> None:
+        self._amcast_ordered(
+            [self.group], plan, uid=f"reconfig:{plan.epoch}"
+        )
+
+    def _on_reconfig_plan(self, plan: ReconfigPlan) -> None:
+        """Phase 1 commit + phase 2 kickoff, at one oracle log position.
+
+        Epoch guard makes redelivery (recovered replica replaying its
+        log) a no-op.  The topology change, the provision hook, and the
+        cutover-plan publish happen in this single a-delivery so there is
+        no observable state between them; crash safety comes from the
+        pending-plan republish (cutover) and the retiring servers' drain
+        announcements (merge completion)."""
+        if plan.epoch <= self.reconfig_epoch:
+            return
+        self.reconfig_epoch = plan.epoch
+        self.reconfig_inflight = True
+        if (
+            self._pending_reconfig is not None
+            and self._pending_reconfig.epoch <= plan.epoch
+        ):
+            self._pending_reconfig = None
+
+        if plan.kind == "split":
+            if plan.target not in self.partition_names:
+                self.partition_names.append(plan.target)
+                self.partition_names.sort()
+            if self.on_provision is not None:
+                self.on_provision(plan.target)
+            if self.audit.enabled and self._records_metrics:
+                self.audit.record(
+                    audit_mod.RECONFIG_PROVISION, self.now,
+                    epoch=plan.epoch, partition=plan.target,
+                    source=plan.source,
+                )
+        else:
+            if plan.source in self.partition_names:
+                self.partition_names.remove(plan.source)
+
+        assignment = apply_reconfig(self.location, plan)
+        cutover = PartitionPlan(
+            self.version + 1,
+            tuple(sorted(assignment.items(), key=lambda kv: repr(kv[0]))),
+            retiring=(plan.source,) if plan.kind == "merge" else (),
+        )
+        self._active_reconfig = {
+            "epoch": plan.epoch,
+            "kind": plan.kind,
+            "source": plan.source,
+            "target": plan.target,
+            "cutover_version": cutover.version,
+            "decided_at": self.now,
+        }
+        self.plan_inflight = True
+        self._pending_plan = cutover
+        self._publish_plan(cutover)
+
+    def _on_cutover_applied(self, active: dict) -> None:
+        """The cutover plan is a-delivered everywhere it matters (it
+        shares the totally ordered plan path).  A split completes here;
+        a merge stays active until the retiring group drains."""
+        if self.audit.enabled and self._records_metrics:
+            self.audit.record(
+                audit_mod.RECONFIG_CUTOVER, self.now,
+                epoch=active["epoch"], op=active["kind"],
+                version=active["cutover_version"],
+                source=active["source"], target=active["target"],
+            )
+        if active["kind"] == "split":
+            self._complete_reconfig()
+
+    def _on_drain_complete(self, done: DrainComplete) -> None:
+        active = self._active_reconfig
+        if (
+            active is None
+            or active["kind"] != "merge"
+            or done.partition != active["source"]
+        ):
+            return  # duplicate or stale announcement
+        if self.audit.enabled and self._records_metrics:
+            self.audit.record(
+                audit_mod.RECONFIG_RETIRED, self.now,
+                epoch=active["epoch"], partition=done.partition,
+                version=done.version, target=active["target"],
+            )
+        if self.on_retire is not None:
+            self.on_retire(done.partition)
+        self._complete_reconfig()
+
+    def _complete_reconfig(self) -> None:
+        self._active_reconfig = None
+        self.reconfig_inflight = False
+        self.reconfigs_done += 1
+        if self._records_metrics:
+            self.monitor.counter("reconfigs_applied").inc()
 
     def on_recover(self) -> None:
         super().on_recover()
@@ -617,6 +867,19 @@ class OracleReplica(MulticastReplica):
         if pending is not None and pending.version > self.version:
             self.set_timer(
                 self.plan_compute_cost, lambda: self._publish_plan(pending)
+            )
+        self._republish_pending_reconfig()
+
+    def _republish_pending_reconfig(self) -> None:
+        """Liveness guard mirroring the pending-plan republish: a
+        reconfig decided before a crash whose publish timer never fired
+        would leave ``reconfig_inflight`` wedged.  The epoch-derived uid
+        deduplicates against any copy already in the log."""
+        pending = self._pending_reconfig
+        if pending is not None and pending.epoch > self.reconfig_epoch:
+            self.set_timer(
+                self.plan_compute_cost,
+                lambda: self._publish_reconfig(pending),
             )
 
     # -- checkpointing ---------------------------------------------------------------------
@@ -632,7 +895,22 @@ class OracleReplica(MulticastReplica):
             "plans_issued": self.plans_issued,
             "done_creates": sorted(self._done_creates.items()),
             "done_deletes": sorted(self._done_deletes.items()),
+            "idem_creates": sorted(self._idem_creates.items()),
+            "idem_deletes": sorted(self._idem_deletes.items()),
             "pending_plan": self._pending_plan,
+            "partition_names": list(self.partition_names),
+            "reconfig_epoch": self.reconfig_epoch,
+            "reconfig_inflight": self.reconfig_inflight,
+            "reconfigs_done": self.reconfigs_done,
+            "elastic_accesses": self.elastic_accesses,
+            "elastic_window": sorted(self.elastic_window.items()),
+            "elastic_cooldown_left": self.elastic_cooldown_left,
+            "pending_reconfig": self._pending_reconfig,
+            "active_reconfig": (
+                dict(self._active_reconfig)
+                if self._active_reconfig is not None
+                else None
+            ),
         }
         return state
 
@@ -648,7 +926,26 @@ class OracleReplica(MulticastReplica):
         self.plans_issued = state.get("plans_issued", 0)
         self._done_creates = dict(state.get("done_creates", ()))
         self._done_deletes = dict(state.get("done_deletes", ()))
+        self._idem_creates = dict(state.get("idem_creates", ()))
+        self._idem_deletes = dict(state.get("idem_deletes", ()))
         self._pending_plan = state.get("pending_plan")
+        self.partition_names = list(
+            state.get("partition_names", self.partition_names)
+        )
+        self.reconfig_epoch = state.get("reconfig_epoch", 0)
+        self.reconfig_inflight = state.get("reconfig_inflight", False)
+        self.reconfigs_done = state.get("reconfigs_done", 0)
+        self.elastic_accesses = state.get("elastic_accesses", 0)
+        self.elastic_window = Counter(dict(state.get("elastic_window", ())))
+        self.elastic_cooldown_left = state.get("elastic_cooldown_left", 0)
+        self._pending_reconfig = state.get("pending_reconfig")
+        active = state.get("active_reconfig")
+        self._active_reconfig = dict(active) if active is not None else None
+        # A checkpoint can describe partitions this (lagging) replica has
+        # never seen provisioned; the hook is idempotent system-wide.
+        if self.on_provision is not None:
+            for name in self.partition_names:
+                self.on_provision(name)
         # Same liveness guard as on_recover: a plan computed before the
         # provider's checkpoint whose publish timer never fired here must
         # be (re)published or plan_inflight wedges forever.
@@ -657,6 +954,7 @@ class OracleReplica(MulticastReplica):
             self.set_timer(
                 self.plan_compute_cost, lambda: self._publish_plan(pending)
             )
+        self._republish_pending_reconfig()
 
     # -- helpers -------------------------------------------------------------------------
 

@@ -33,6 +33,7 @@ from repro.core.admission import ADMIT, AdmissionController
 from repro.core.messages import (
     CreateVar,
     DeleteVar,
+    DrainComplete,
     ExecCommand,
     ExecutionHint,
     GlobalCommand,
@@ -57,6 +58,10 @@ from repro.smr.statemachine import AppStateMachine, VariableStore
 #: clique in the workload-graph hint (keeps hint sizes linear for e.g.
 #: celebrity posts that touch hundreds of users).
 CLIQUE_HINT_LIMIT = 12
+
+#: Retry-After attached to "retired" NACKs when admission control (which
+#: has its own configured value) is disabled.
+RETIRED_RETRY_AFTER = 0.05
 
 
 class PartitionServer(MulticastReplica):
@@ -119,6 +124,20 @@ class PartitionServer(MulticastReplica):
         self.version = 0
         self.last_plan: dict[Any, str] = {}
 
+        # Elastic retirement (merge reconfiguration).  ``draining``: a
+        # cutover plan listed this partition as retiring — ship state out,
+        # NACK fresh client traffic, announce DrainComplete when empty.
+        # ``retired``: the DrainComplete a-delivered in our own log — the
+        # totally ordered point after which this group only answers
+        # stragglers.  Both are stable (checkpointed) state.
+        self.draining = False
+        self.retired = False
+        self._drain_version = 0
+        self._drain_timer_armed = False
+        #: Re-announce cadence while drained (uid-deduped, so repeats are
+        #: free); survives total loss of the first announcement.
+        self.drain_period = 0.5
+
         self.queue: deque = deque()
         self._head_state: dict = {}
 
@@ -130,10 +149,13 @@ class PartitionServer(MulticastReplica):
         self._plan_transfer_seen: set = set()
         self._early_plan_transfers: dict = {}
 
-        # Exactly-once under client retries: cached (status, result) per
-        # executed command uid, and which uids touched which node (so the
-        # cache migrates with the node under repartitioning plans).
+        # Exactly-once under client retries: cached (status, result,
+        # attempt, idem_key) per executed command uid, and which uids
+        # touched which node (so the cache migrates with the node under
+        # repartitioning plans).  The idempotency-key index bridges
+        # give-up-and-resubmit retries that arrive under a *fresh* uid.
         self._exec_results: dict[str, tuple] = {}
+        self._idem_index: dict[str, str] = {}
         self._node_uids: dict[Any, list] = {}
 
         # Reliable replica-to-replica channel (transfer/return/abort and
@@ -174,10 +196,16 @@ class PartitionServer(MulticastReplica):
     def on_recover(self) -> None:
         self._service_timer = None
         self._next_free = 0.0
+        self._drain_timer_armed = False
         super().on_recover()
         # The execution queue and gather buffers are stable; whatever was
         # ready to run before the crash can run again now.
         self._pump()
+        # A crash mid-drain must not wedge retirement: re-arm the
+        # announcement loop (the drain uid dedups any pre-crash copy).
+        if self.draining and not self.retired:
+            self._arm_drain_timer()
+            self._maybe_announce_drain()
 
     @property
     def _records_metrics(self) -> bool:
@@ -240,14 +268,66 @@ class PartitionServer(MulticastReplica):
     # -- ingress admission control ----------------------------------------------
 
     def on_message(self, sender: str, message: Any) -> None:
-        if (
-            self.admission is not None
-            and isinstance(message, Submit)
-            and isinstance(message.value, OrderEvent)
-            and not self._admit(sender, message.value.message)
-        ):
-            return
+        if isinstance(message, Submit) and isinstance(message.value, OrderEvent):
+            if (self.draining or self.retired) and not self._admit_retiring(
+                sender, message.value.message
+            ):
+                return
+            if self.admission is not None and not self._admit(
+                sender, message.value.message
+            ):
+                return
         super().on_message(sender, message)
+
+    def _admit_retiring(self, sender: str, msg: MulticastMessage) -> bool:
+        """A retiring partition refuses fresh client traffic at the same
+        consensus ingress as admission control: the command never enters
+        the log through this replica, so replicas cannot disagree about
+        what a draining group executes.  The ``retired`` Retry-After NACK
+        tells the client to drop its cached location and re-query the
+        oracle, which now maps every node elsewhere."""
+        payload = msg.payload
+        if not isinstance(payload, (ExecCommand, GlobalCommand)):
+            return True
+        if payload.client != sender:
+            return True
+        cmd_uid = payload.command.uid
+        if (
+            msg.uid in self.adelivered_uids
+            or msg.uid in self.pending_msgs
+            or cmd_uid in self._exec_results
+        ):
+            # Already ordered or already answered — the cache replies.
+            return True
+        if isinstance(payload, GlobalCommand) and self._has_claimed_borrows(
+            cmd_uid
+        ):
+            return True
+        self.monitor.counter(
+            "reconfig", partition=self.partition, event="nacked"
+        ).inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                cmd_uid, "retired-nack", self.now,
+                partition=self.partition, replica=self.index,
+                attempt=payload.attempt,
+            )
+        retry_after = (
+            self.admission.retry_after
+            if self.admission is not None
+            else RETIRED_RETRY_AFTER
+        )
+        self.send(
+            payload.client,
+            ServerBusy(
+                uid=cmd_uid,
+                attempt=payload.attempt,
+                partition=self.partition,
+                retry_after=retry_after,
+                reason="retired",
+            ),
+        )
+        return False
 
     def _admit(self, sender: str, msg: MulticastMessage) -> bool:
         """Queue-based load leveling at the consensus *ingress*.
@@ -376,6 +456,8 @@ class PartitionServer(MulticastReplica):
             self.on_app_message(sender, message.payload)
         elif isinstance(message, ReliableAck):
             self._outbox.pop((sender, message.uid), None)
+            if self.draining and not self._outbox:
+                self._maybe_announce_drain()
         elif isinstance(message, VarTransfer):
             self._on_var_transfer(message)
         elif isinstance(message, VarReturn):
@@ -400,6 +482,8 @@ class PartitionServer(MulticastReplica):
                 done = self._apply_delete(head)
             elif isinstance(head, PartitionPlan):
                 done = self._apply_plan(head)
+            elif isinstance(head, DrainComplete):
+                done = self._apply_drain_complete(head)
             else:
                 done = True  # unknown payloads are skipped
             if not done:
@@ -487,15 +571,31 @@ class PartitionServer(MulticastReplica):
         cache instead of re-executed (the state machine must not apply a
         command twice)."""
         attempt = getattr(payload, "attempt", 0)
-        self._exec_results[payload.command.uid] = (status, result, attempt)
+        idem_key = getattr(payload.command, "idem_key", None)
+        self._exec_results[payload.command.uid] = (
+            status, result, attempt, idem_key,
+        )
+        if idem_key is not None:
+            self._idem_index.setdefault(idem_key, payload.command.uid)
         for node in nodes:
             self._node_uids.setdefault(node, []).append(payload.command.uid)
 
+    def _cached_result_for(self, command) -> Optional[tuple]:
+        """The cached outcome of ``command``: by uid, or — for a
+        give-up-and-resubmit that arrives under a fresh uid — through the
+        client's idempotency key."""
+        cached = self._exec_results.get(command.uid)
+        if cached is None and command.idem_key is not None:
+            original = self._idem_index.get(command.idem_key)
+            if original is not None:
+                cached = self._exec_results.get(original)
+        return cached
+
     def _reply_cached(self, payload) -> bool:
-        cached = self._exec_results.get(payload.command.uid)
+        cached = self._cached_result_for(payload.command)
         if cached is None:
             return False
-        status, result, _attempt = cached
+        status, result = cached[0], cached[1]
         if self.tracer.enabled:
             self.tracer.finish(
                 payload.command.uid, "queue", self.now, disc=payload.attempt,
@@ -522,8 +622,12 @@ class PartitionServer(MulticastReplica):
         return tuple(entries)
 
     def _merge_exec_entries(self, entries) -> None:
-        for uid, status, result, attempt in entries:
-            self._exec_results.setdefault(uid, (status, result, attempt))
+        for entry in entries:
+            uid, status, result, attempt = entry[0], entry[1], entry[2], entry[3]
+            idem_key = entry[4] if len(entry) > 4 else None
+            self._exec_results.setdefault(uid, (status, result, attempt, idem_key))
+            if idem_key is not None:
+                self._idem_index.setdefault(idem_key, uid)
 
     # -- multi-partition commands ----------------------------------------------------------
 
@@ -552,6 +656,17 @@ class PartitionServer(MulticastReplica):
             and payload.attempt != cached[2]
         ):
             return self._global_duplicate(payload)
+        if cached is None and not state and command.idem_key is not None:
+            # A fresh-uid resubmit of an already-executed command (matched
+            # by idempotency key) is always a duplicate: the fresh uid
+            # cannot be the attempt that executed.
+            original = self._idem_index.get(command.idem_key)
+            if (
+                original is not None
+                and original != cmd_uid
+                and original in self._exec_results
+            ):
+                return self._global_duplicate(payload)
 
         if not state.get("checked"):
             if any(node not in self.owned_nodes for node in claimed):
@@ -638,7 +753,9 @@ class PartitionServer(MulticastReplica):
         # Return every variable that belongs to a source node — including
         # variables the execution just created for those nodes.  The cached
         # result rides along so sources can answer retries themselves.
-        exec_entry = ((command.uid, status, result, payload.attempt),)
+        exec_entry = (
+            (command.uid, status, result, payload.attempt, command.idem_key),
+        )
         home_of = dict(payload.locations)
         returns: dict[str, list] = {}
         for var in set(borrowed) | written:
@@ -937,8 +1054,13 @@ class PartitionServer(MulticastReplica):
         self.version = plan.version
         assignment = plan.as_dict()
         self.last_plan = dict(assignment)
+        if self.partition in plan.retiring and not self.draining:
+            self.draining = True
+            self._drain_version = plan.version
+            self._arm_drain_timer()
 
         moved_out_objects = 0
+        moved_out_bytes = 0
         nodes_out = 0
         nodes_in = 0
         for node, new_owner in assignment.items():
@@ -974,6 +1096,9 @@ class PartitionServer(MulticastReplica):
                         uid=f"pt:{plan.version}:{node!r}:{self.partition}",
                     )
                     moved_out_objects += len(pairs)
+                    moved_out_bytes += sum(
+                        len(repr(value)) for _, value in pairs
+                    )
                     nodes_out += 1
         if self._records_metrics:
             self.monitor.counter("plan_objects_moved").inc(moved_out_objects)
@@ -986,6 +1111,7 @@ class PartitionServer(MulticastReplica):
                         audit_mod.RELOCATION, self.now,
                         version=plan.version, partition=self.partition,
                         objects_out=moved_out_objects,
+                        bytes_out=moved_out_bytes,
                         nodes_out=nodes_out, nodes_in=nodes_in,
                         awaiting=len(self.in_transit),
                     )
@@ -996,6 +1122,48 @@ class PartitionServer(MulticastReplica):
                         audit_mod.QUIESCE, self.now,
                         version=plan.version, partition=self.partition,
                     )
+        if self.draining:
+            self._maybe_announce_drain()
+        return True
+
+    # -- elastic retirement (merge drain) ---------------------------------------------
+
+    def _arm_drain_timer(self) -> None:
+        if self._drain_timer_armed or self.drain_period <= 0:
+            return
+        self._drain_timer_armed = True
+        self.set_periodic_timer(self.drain_period, self._maybe_announce_drain)
+
+    def _maybe_announce_drain(self) -> None:
+        """Announce ``DrainComplete`` once everything this partition owned
+        has verifiably left: no owned or in-flight nodes and an empty
+        reliable outbox (every shipped transfer acked by its receiver).
+        Multicast to the oracle *and* our own group: a-delivery in our own
+        log is the totally ordered retire point, a-delivery at the oracle
+        completes the merge.  The version-derived uid makes the periodic
+        re-announcement (and post-recovery duplicates) free."""
+        if not self.draining or self.retired:
+            return
+        if self.owned_nodes or self.in_transit or self._outbox:
+            return
+        message = MulticastMessage(
+            uid=f"drain:{self._drain_version}:{self.partition}",
+            dests=tuple(sorted({self.oracle_group, self.partition})),
+            payload=DrainComplete(self._drain_version, self.partition),
+        )
+        self._directory.amcast_local(self, message)
+
+    def _apply_drain_complete(self, done: DrainComplete) -> bool:
+        """Our own DrainComplete a-delivered: the retire point.  Every
+        replica of the group passes this at the same log position."""
+        if done.partition != self.partition or self.retired:
+            return True
+        self.retired = True
+        if self.audit.enabled and self._records_metrics:
+            self.audit.record(
+                audit_mod.RECONFIG_DRAIN, self.now,
+                version=done.version, partition=self.partition,
+            )
         return True
 
     def _install_node_vars(self, node: Any, pairs: tuple) -> None:
@@ -1092,6 +1260,17 @@ class PartitionServer(MulticastReplica):
         # the first replica to send stamps the span's start, and the
         # client closes it on receipt.
         self._admission_release(payload.command.uid)
+        if (
+            status == ReplyStatus.RETRY
+            and (self.draining or self.retired)
+            and self._records_metrics
+        ):
+            # Command ordered before the cutover but landing after it:
+            # the RETRY redirects the client through the oracle to the
+            # partition that absorbed the nodes.
+            self.monitor.counter(
+                "reconfig", partition=self.partition, event="redirected"
+            ).inc()
         if self.tracer.enabled:
             self.tracer.begin(
                 payload.command.uid, "reply", self.now, disc=payload.attempt,
@@ -1169,6 +1348,10 @@ class PartitionServer(MulticastReplica):
                 self._early_plan_transfers.items(), key=repr
             ),
             "exec_results": sorted(self._exec_results.items(), key=repr),
+            "idem_index": sorted(self._idem_index.items(), key=repr),
+            "draining": self.draining,
+            "retired": self.retired,
+            "drain_version": self._drain_version,
             "node_uids": sorted(
                 ((node, list(uids)) for node, uids in self._node_uids.items()),
                 key=repr,
@@ -1211,6 +1394,10 @@ class PartitionServer(MulticastReplica):
         self._plan_transfer_seen = set(state.get("plan_transfer_seen", ()))
         self._early_plan_transfers = dict(state.get("early_plan_transfers", ()))
         self._exec_results = dict(state.get("exec_results", ()))
+        self._idem_index = dict(state.get("idem_index", ()))
+        self.draining = state.get("draining", False)
+        self.retired = state.get("retired", False)
+        self._drain_version = state.get("drain_version", 0)
         self._node_uids = {
             node: list(uids) for node, uids in state.get("node_uids", ())
         }
@@ -1223,3 +1410,6 @@ class PartitionServer(MulticastReplica):
         self.multi_partition_count = state.get("multi_partition_count", 0)
         # Whatever is runnable in the adopted queue can run right away.
         self._pump()
+        if self.draining and not self.retired:
+            self._arm_drain_timer()
+            self._maybe_announce_drain()

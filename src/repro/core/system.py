@@ -27,6 +27,7 @@ from repro.consensus.paxos import ReplicaConfig
 from repro.core.client import DynaStarClient, Workload
 from repro.core.oracle import OracleReplica
 from repro.core.server import PartitionServer
+from repro.elastic import ElasticConfig, ElasticityController
 from repro.multicast.basecast import GroupDirectory
 from repro.obs.audit import NULL_AUDIT, AuditLog
 from repro.obs.health import PartitionHealthSampler
@@ -133,6 +134,21 @@ class SystemConfig:
     health_sample_period: Optional[float] = None
     #: Hot-key top-N reported per health sample.
     health_top_n: int = 5
+    #: Elastic partition count: let the oracle split overloaded
+    #: partitions and merge idle ones at runtime (``dynastar`` mode
+    #: only).  Off by default — the fixed-partition behaviour (and its
+    #: seeded traces) is unchanged.
+    elastic_enabled: bool = False
+    elastic_split_factor: float = 1.6
+    elastic_merge_factor: float = 0.25
+    elastic_eval_interval: int = 400
+    elastic_cooldown: int = 1200
+    max_partitions: int = 8
+    min_partitions: int = 1
+    elastic_min_split_nodes: int = 4
+    #: Stamp client commands with idempotency keys so give-up-and-resubmit
+    #: retries (fresh uid) still hit the servers' exactly-once cache.
+    idempotency_keys: bool = False
     replica: ReplicaConfig = field(default_factory=ReplicaConfig)
 
 
@@ -177,20 +193,41 @@ class DynaStarSystem:
         if cfg.checkpoint_interval:
             cfg.replica.checkpoint_interval = cfg.checkpoint_interval
 
-        group_config = GroupConfig(
+        # Group shape and server factory are attributes (not locals) so
+        # the elasticity controller can provision new groups mid-run with
+        # the exact construction path used here.
+        self.group_config = GroupConfig(
             n_replicas=cfg.n_replicas,
             n_acceptors=cfg.n_acceptors,
             replica=cfg.replica,
         )
-
-        server_factory = self._server_factory()
+        self.server_factory = self._server_factory()
         for name in self.partition_names:
             self.directory.create_group(
                 name,
-                config=group_config,
-                replica_factory=server_factory,
+                config=self.group_config,
+                replica_factory=self.server_factory,
                 rng=self.seeds.rng(f"group:{name}"),
             )
+
+        self._elastic_config: Optional[ElasticConfig] = (
+            ElasticConfig(
+                split_factor=cfg.elastic_split_factor,
+                merge_factor=cfg.elastic_merge_factor,
+                eval_interval=cfg.elastic_eval_interval,
+                cooldown=cfg.elastic_cooldown,
+                max_partitions=cfg.max_partitions,
+                min_partitions=cfg.min_partitions,
+                min_split_nodes=cfg.elastic_min_split_nodes,
+            )
+            if cfg.elastic_enabled and cfg.mode == "dynastar"
+            else None
+        )
+        self.elastic: Optional[ElasticityController] = (
+            ElasticityController(self)
+            if self._elastic_config is not None
+            else None
+        )
 
         def oracle_factory(**kwargs):
             kwargs.pop("on_deliver", None)
@@ -212,12 +249,19 @@ class DynaStarSystem:
                 admission_headroom=cfg.admission_headroom,
                 admission_retry_after=cfg.admission_retry_after,
                 admission_ttl=cfg.admission_ttl,
+                elastic=self._elastic_config,
+                on_provision=(
+                    self.elastic.provision if self.elastic is not None else None
+                ),
+                on_retire=(
+                    self.elastic.retire if self.elastic is not None else None
+                ),
                 **kwargs,
             )
 
         self.directory.create_group(
             self.oracle_group,
-            config=group_config,
+            config=self.group_config,
             replica_factory=oracle_factory,
             rng=self.seeds.rng("group:oracle"),
         )
@@ -363,6 +407,7 @@ class DynaStarSystem:
             breaker_cooldown=cfg.client_breaker_cooldown,
             breaker_jitter=cfg.client_breaker_jitter,
             think_time=cfg.client_think_time,
+            idempotency_keys=cfg.idempotency_keys,
             rng=self.seeds.rng(f"client:{name}"),
             tracer=self.tracer,
         )
@@ -386,6 +431,12 @@ class DynaStarSystem:
     def run(self, until: float) -> None:
         self.start()
         self.sim.run(until=until)
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` ran (mid-run provisioned groups must be
+        started explicitly; pre-start ones ride ``directory.start``)."""
+        return self._started
 
     # -- introspection -----------------------------------------------------------
 

@@ -1,0 +1,30 @@
+"""Elastic partition count: online split and merge of partitions.
+
+DynaStar's repartitioner rebalances over a *fixed* set of partitions;
+this package lets the deployed partition count itself follow the load.
+The oracle watches per-partition load (the same log-driven quantities
+the health sampler reports), decides splits and merges via the pure
+policy in :mod:`repro.elastic.policy`, and drives the two-phase
+epoch-tagged reconfiguration protocol; the
+:class:`~repro.elastic.controller.ElasticityController` is the
+system-level arm that provisions new Paxos+multicast groups mid-run and
+retires drained ones.
+"""
+
+from repro.elastic.controller import ElasticityController
+from repro.elastic.policy import (
+    ElasticConfig,
+    ElasticDecision,
+    apply_reconfig,
+    decide_reconfig,
+    split_assignment,
+)
+
+__all__ = [
+    "ElasticConfig",
+    "ElasticDecision",
+    "ElasticityController",
+    "apply_reconfig",
+    "decide_reconfig",
+    "split_assignment",
+]

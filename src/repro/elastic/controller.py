@@ -1,0 +1,88 @@
+"""System-side arm of elastic reconfiguration: group lifecycle.
+
+The oracle replicas decide *that* a partition splits or merges (through
+their shared log); the :class:`ElasticityController` owns the parts of
+the change that live outside any replicated log — registering a fresh
+Paxos+multicast group on the simulated network, arming its timers, and
+keeping the system-level ``partition_names`` view (health sampler,
+consistency checks, chaos generation) in step.  Both oracle replicas
+invoke the hooks when they a-deliver the reconfiguration plan, and a
+recovering replica may invoke them again while replaying its log, so
+every operation here is idempotent: the first call acts, the rest are
+no-ops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.monitor import Monitor
+
+
+class ElasticityController:
+    """Provision and retire partition groups on a live system."""
+
+    def __init__(self, system):
+        self.system = system
+        self.provisioned: set[str] = set()
+        self.retired: set[str] = set()
+
+    @property
+    def _monitor(self) -> Monitor:
+        return self.system.monitor
+
+    def _record_partition_count(self) -> None:
+        count = len(self.system.partition_names)
+        self._monitor.series("partition_count").record(self.system.sim.now, count)
+        self._monitor.gauge("partition_count").set(count)
+        self._monitor.counter("reconfig", event="topology_change").inc()
+
+    # -- provisioning ------------------------------------------------------
+
+    def provision(self, name: str) -> None:
+        """Create, register and start a new partition group ``name``.
+
+        Idempotent: a second call (the other oracle replica, or a log
+        replay after recovery) finds the group registered and returns.
+        The group's RNG is derived from the system seed by name, so a
+        mid-run provision is as deterministic as a construction-time one.
+        """
+        system = self.system
+        if name in system.directory.groups:
+            if name not in system.partition_names and name not in self.retired:
+                system.partition_names.append(name)
+            return
+        self.provisioned.add(name)
+        group = system.directory.create_group(
+            name,
+            config=system.group_config,
+            replica_factory=system.server_factory,
+            rng=system.seeds.rng(f"group:{name}"),
+        )
+        system.partition_names.append(name)
+        if system.started:
+            group.start()
+        self._record_partition_count()
+
+    # -- retirement --------------------------------------------------------
+
+    def retire(self, name: str) -> None:
+        """Drop ``name`` from the active partition set.
+
+        The group object stays registered and its replicas stay on the
+        network — a retired server keeps acking stragglers and NACKing
+        misdirected clients — but nothing system-level (health samples,
+        store-consistency sweeps, chaos schedules) looks at it anymore.
+        """
+        system = self.system
+        if name in self.retired:
+            return
+        self.retired.add(name)
+        if name in system.partition_names:
+            system.partition_names.remove(name)
+        self._record_partition_count()
+
+    # -- introspection -----------------------------------------------------
+
+    def group(self, name: str) -> Optional[object]:
+        return self.system.directory.groups.get(name)

@@ -136,6 +136,71 @@ class ChaosInjector:
                 replica.crash()
                 return
 
+    # -- elastic reconfiguration fault points ---------------------------------
+
+    def _reconfig_in_flight(self) -> bool:
+        """Whether any oracle replica has a reconfiguration pending,
+        decided, or awaiting drain at fire time."""
+        oracle_group = getattr(self.system, "oracle_group", "oracle")
+        group = self.system.directory.groups.get(oracle_group)
+        if group is None:
+            return False
+        return any(
+            getattr(r, "reconfig_inflight", False)
+            or getattr(r, "_pending_reconfig", None) is not None
+            for r in group.replicas
+        )
+
+    def _do_crash_mid_split(self, group: str) -> None:
+        """Crash a replica of ``group`` while it holds reconfiguration
+        handoff state — nodes still in transit, an unacked handoff
+        outbox, or an unfinished drain.  Resolved at fire time; no-op
+        (still logged) when the group is quiescent.  The victim joins the
+        ``crash_leader`` ledger so a paired ``recover_leader`` event
+        brings it back."""
+        for replica in self._group(group).replicas:
+            if replica.crashed:
+                continue
+            mid_handoff = (
+                getattr(replica, "in_transit", None)
+                or getattr(replica, "_outbox", None)
+                or (
+                    getattr(replica, "draining", False)
+                    and not getattr(replica, "retired", False)
+                )
+            )
+            if mid_handoff:
+                replica.crash()
+                self._crashed_leaders.setdefault(group, []).append(replica)
+                return
+
+    def _do_crash_oracle_during_reconfig(self) -> None:
+        """Crash one live oracle replica iff a reconfiguration is in
+        flight (pending plan, cutover, or drain wait) — the oracle-side
+        crash window of the protocol.  No-op when quiescent."""
+        if not self._reconfig_in_flight():
+            return
+        oracle_group = getattr(self.system, "oracle_group", "oracle")
+        group = self._group(oracle_group)
+        for replica in group.replicas:
+            if not replica.crashed:
+                replica.crash()
+                self._crashed_leaders.setdefault(oracle_group, []).append(
+                    replica
+                )
+                return
+
+    def _do_lose_cutover_msgs(self, duration: float, probability: float) -> None:
+        """Loss burst aimed at the reconfiguration window: fires only when
+        a reconfiguration is actually in flight, so a schedule can riddle
+        cutover multicasts and drain announcements with loss without
+        degrading the rest of the run."""
+        if not self._reconfig_in_flight():
+            return
+        self.system.net.schedule_loss_burst(
+            self.system.sim.now, duration, probability
+        )
+
     # -- links --------------------------------------------------------------
 
     def _do_cut(self, a: str, b: str) -> None:

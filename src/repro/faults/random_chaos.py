@@ -51,6 +51,17 @@ class ChaosConfig:
     spike_duration: float = 1.0
     overload_factor: float = 10.0
     overload_duration: float = 2.0
+    #: Elastic-reconfiguration fault windows (all default 0: zero counts
+    #: draw nothing from the rng, keeping existing schedules identical).
+    #: ``mid_split_crashes`` targets partition groups mid-handoff;
+    #: ``oracle_reconfig_crashes`` kills an oracle replica inside the
+    #: reconfig window; ``cutover_loss_bursts`` riddles the cutover with
+    #: message loss.  All three resolve applicability at fire time.
+    mid_split_crashes: int = 0
+    oracle_reconfig_crashes: int = 0
+    cutover_loss_bursts: int = 0
+    cutover_loss_probability: float = 0.3
+    cutover_loss_duration: float = 1.0
 
     def __post_init__(self):
         if self.duration <= self.start_after:
@@ -84,6 +95,7 @@ def generate(
     replicas_per_group: int = 2,
     acceptors_per_group: int = 3,
     link_actors: Sequence[str] = (),
+    oracle_group: str = "oracle",
 ) -> FaultSchedule:
     """Build a randomized, safe schedule.
 
@@ -133,6 +145,24 @@ def generate(
                 start, "overload_burst",
                 config.overload_duration, config.overload_factor,
             )
+    # Elastic reconfiguration faults (same zero-count guard).  Crash
+    # windows pair with recover_leader: the mid-split victim is recorded
+    # in the injector's crashed-leader ledger.
+    if config.mid_split_crashes > 0 and groups:
+        for start, end in _windows(rng, config, config.mid_split_crashes):
+            group = rng.choice(list(groups))
+            schedule.at(start, "crash_mid_split", group)
+            schedule.at(end, "recover_leader", group)
+    if config.oracle_reconfig_crashes > 0:
+        for start, end in _windows(rng, config, config.oracle_reconfig_crashes):
+            schedule.at(start, "crash_oracle_during_reconfig")
+            schedule.at(end, "recover_leader", oracle_group)
+    if config.cutover_loss_bursts > 0:
+        for start, _end in _windows(rng, config, config.cutover_loss_bursts):
+            schedule.at(
+                start, "lose_cutover_msgs",
+                config.cutover_loss_duration, config.cutover_loss_probability,
+            )
 
     return schedule
 
@@ -161,4 +191,5 @@ def generate_for_system(
         replicas_per_group=system.config.n_replicas,
         acceptors_per_group=system.config.n_acceptors,
         link_actors=link_actors,
+        oracle_group=system.oracle_group,
     )

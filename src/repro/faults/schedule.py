@@ -30,6 +30,16 @@ crash_mid_transfer  (group,)  — crash the replica currently downloading
 crash_snapshot_provider (group,) — crash the replica currently serving a
                                 snapshot download (falls back to a live
                                 replica holding a checkpoint)
+crash_mid_split     (group,)  — crash a partition replica while the
+                                group has reconfiguration handoff state
+                                in flight (in-transit nodes or a drain
+                                in progress; no-op otherwise)
+crash_oracle_during_reconfig () — crash an oracle replica while a
+                                reconfiguration is pending or in flight
+                                (no-op when the oracle is quiescent)
+lose_cutover_msgs   (duration, probability) — loss burst that fires only
+                                if a reconfiguration is in flight at
+                                fire time (targets the cutover window)
 ==================  =============================================
 
 Schedules are plain data: they can be written by hand in tests, emitted
@@ -62,6 +72,9 @@ _KIND_ARITY = {
     "overload_burst": 2,
     "crash_mid_transfer": 1,
     "crash_snapshot_provider": 1,
+    "crash_mid_split": 1,
+    "crash_oracle_during_reconfig": 0,
+    "lose_cutover_msgs": 2,
 }
 
 FAULT_KINDS = frozenset(_KIND_ARITY)
@@ -87,7 +100,9 @@ class FaultEvent:
             )
         # Validate traffic-fault arg domains here rather than letting a
         # bad value surface as a mid-run exception at fire time.
-        if self.kind in ("loss_burst", "delay_spike", "overload_burst"):
+        if self.kind in (
+            "loss_burst", "delay_spike", "overload_burst", "lose_cutover_msgs"
+        ):
             duration, amount = self.args
             if not isinstance(duration, (int, float)) or not isinstance(
                 amount, (int, float)
@@ -102,9 +117,11 @@ class FaultEvent:
             # Same domain as Network.loss_probability / schedule_loss_burst:
             # [0, 1).  Probability 1.0 is rejected here too, or a schedule
             # that validates at build time would raise mid-run at fire time.
-            if self.kind == "loss_burst" and not 0.0 <= amount < 1.0:
+            if self.kind in ("loss_burst", "lose_cutover_msgs") and not (
+                0.0 <= amount < 1.0
+            ):
                 raise ValueError(
-                    f"loss_burst probability must be in [0, 1), got {amount}"
+                    f"{self.kind} probability must be in [0, 1), got {amount}"
                 )
             if self.kind == "delay_spike" and amount < 0:
                 raise ValueError(

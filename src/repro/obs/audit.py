@@ -18,6 +18,11 @@ structured records:
   objects a plan shipped out, how many nodes arrived in transit, and
   when the last in-flight node settled (the quiesce point after which
   no command blocks on plan-driven relocation).
+* ``reconfig-*`` — the elastic split/merge lifecycle per epoch: the
+  policy decision, the provision of the new group, the cutover plan
+  application, the retiring group's drain point, and the retirement —
+  enough to attribute cutover latency and handoff cost per decision
+  (see the report CLI's ``reconfig`` section).
 
 Design constraints mirror :class:`repro.obs.trace.Tracer`:
 
@@ -44,6 +49,16 @@ PUBLISHED = "plan-published"
 APPLIED = "plan-applied"
 RELOCATION = "relocation"
 QUIESCE = "relocation-quiesce"
+
+#: Elastic reconfiguration lifecycle, in order for one epoch: the policy
+#: verdict (split/merge decided), the new group provisioned and joined,
+#: the directory cutover plan applied, the retiring group's drain point,
+#: and the merge's final retirement.
+RECONFIG_DECISION = "reconfig-decision"
+RECONFIG_PROVISION = "reconfig-provision"
+RECONFIG_CUTOVER = "reconfig-cutover"
+RECONFIG_DRAIN = "reconfig-drain"
+RECONFIG_RETIRED = "reconfig-retired"
 
 
 class AuditLog:

@@ -27,6 +27,12 @@ The report sections:
   settled), with edge-cut before/after and vertices moved; suppressed
   (hysteresis) decisions are listed too, each as its own entry;
 * **moved** — top moved variables across all plans, by graph weight;
+* **reconfig** — one entry per elastic split/merge epoch, joining the
+  decision, provision, cutover, drain and retire audit records into a
+  cost attribution (cutover latency, handoff objects/bytes from the
+  relocation records at the cutover version, drain latency for merges),
+  plus the ``reconfig{event=..}`` counters (commands NACKed / redirected
+  during drains, topology changes) and the partition-count trajectory;
 * **overload** — admission/backpressure/retry counters grouped from the
   labeled-metric namespace;
 * **graph** — edge-cut / cut-fraction / imbalance trajectory endpoints.
@@ -161,6 +167,16 @@ def _partition_section(health: list) -> dict:
     }
 
 
+def _reconfig_versions(audit: list) -> set:
+    """Plan versions that belong to elastic cutovers, not repartitions."""
+    return {
+        record["version"]
+        for record in audit
+        if record["kind"] == audit_mod.RECONFIG_CUTOVER
+        and record.get("version") is not None
+    }
+
+
 def _repartition_section(audit: list) -> list:
     """One event per oracle decision, cost-attributed from lifecycle
     records sharing its plan version.
@@ -168,16 +184,23 @@ def _repartition_section(audit: list) -> list:
     Suppressed (hysteresis) decisions never bump the oracle version, so
     several may carry the same candidate version number — each still
     gets its own entry; only the published decision of a version owns
-    that version's publish/apply/quiesce records.
+    that version's publish/apply/quiesce records.  Versions that belong
+    to elastic cutovers are excluded — the **reconfig** section owns
+    their lifecycle records.
     """
     if not audit:
         return []
+    cutover_versions = _reconfig_versions(audit)
     lifecycle: dict = {}
     decisions = []
     for record in audit:
         if record["kind"] == audit_mod.DECISION:
             decisions.append(record)
+        elif record["kind"].startswith("reconfig-"):
+            continue
         elif record.get("version") is not None:
+            if record["version"] in cutover_versions:
+                continue
             lifecycle.setdefault(record["version"], []).append(record)
     events = []
     for decision in sorted(decisions, key=lambda r: r["seq"]):
@@ -239,6 +262,128 @@ def _moved_section(audit: list, top_n: int = 10) -> list:
     return ranked[:top_n]
 
 
+def _parse_labels(blob: str) -> dict:
+    """``event=nacked,partition=p0`` → dict (monitor label rendering)."""
+    out = {}
+    for pair in blob.split(","):
+        if "=" in pair:
+            key, _, value = pair.partition("=")
+            out[key] = value
+    return out
+
+
+def _reconfig_section(audit: list, metrics: Optional[dict]) -> dict:
+    """One entry per elastic reconfiguration epoch, joining the
+    decision → provision → cutover → drain → retire lifecycle records,
+    with handoff cost pulled from the relocation records at the cutover
+    version and drain-window client impact from the ``reconfig{..}``
+    counters."""
+    lifecycle = [r for r in audit if r["kind"].startswith("reconfig-")]
+    counters = (metrics or {}).get("counters", {})
+    drain_counters: dict = {}
+    for key, value in counters.items():
+        if key.startswith("reconfig{") and key.endswith("}"):
+            labels = _parse_labels(key[len("reconfig{") : -1])
+            event = labels.get("event")
+            if event:
+                drain_counters[event] = drain_counters.get(event, 0) + value
+    if not lifecycle and not drain_counters:
+        return {}
+
+    relocations: dict = {}
+    for record in audit:
+        if record["kind"] == audit_mod.RELOCATION:
+            relocations.setdefault(record["version"], []).append(record)
+    drains = {
+        r["version"]: r
+        for r in lifecycle
+        if r["kind"] == audit_mod.RECONFIG_DRAIN
+    }
+
+    epochs: dict = {}
+    for record in sorted(lifecycle, key=lambda r: r["seq"]):
+        epoch = record.get("epoch")
+        if epoch is None:
+            continue  # drain records join via their cutover version below
+        entry = epochs.setdefault(epoch, {"epoch": epoch})
+        kind = record["kind"]
+        if kind == audit_mod.RECONFIG_DECISION:
+            entry["decided_at"] = record["t"]
+            entry["op"] = record.get("op")
+            entry["source"] = record.get("source")
+            entry["target"] = record.get("target")
+            entry["moved"] = record.get("moved")
+            entry["window"] = record.get("window", {})
+        elif kind == audit_mod.RECONFIG_PROVISION:
+            entry["provisioned_at"] = record["t"]
+        elif kind == audit_mod.RECONFIG_CUTOVER:
+            entry["cutover_at"] = record["t"]
+            entry["cutover_version"] = record.get("version")
+            entry.setdefault("op", record.get("op"))
+            entry.setdefault("source", record.get("source"))
+            entry.setdefault("target", record.get("target"))
+        elif kind == audit_mod.RECONFIG_RETIRED:
+            entry["retired_at"] = record["t"]
+
+    events = []
+    for epoch in sorted(epochs):
+        entry = epochs[epoch]
+        decided = entry.get("decided_at")
+        cutover = entry.get("cutover_at")
+        if decided is not None and cutover is not None:
+            entry["cutover_latency"] = cutover - decided
+        version = entry.get("cutover_version")
+        if version is not None:
+            moved = relocations.get(version, [])
+            if moved:
+                entry["handoff_objects"] = sum(
+                    r.get("objects_out", 0) for r in moved
+                )
+                entry["handoff_bytes"] = sum(
+                    r.get("bytes_out", 0) for r in moved
+                )
+            drain = drains.get(version)
+            if drain is not None:
+                entry["drained_at"] = drain["t"]
+                if cutover is not None:
+                    entry["drain_latency"] = drain["t"] - cutover
+        events.append(entry)
+
+    section: dict = {"epochs": events}
+    if drain_counters:
+        section["counters"] = dict(sorted(drain_counters.items()))
+    series = (metrics or {}).get("series", {}).get("partition_count")
+    if series:
+        section["partition_count"] = {
+            "points": len(series),
+            "first": series[0],
+            "last": series[-1],
+        }
+    gauge = (metrics or {}).get("gauges", {}).get("partition_count")
+    if gauge is not None:
+        section["final_partition_count"] = gauge
+    return section
+
+
+def check_reconfig(report: dict) -> list:
+    """CI assertion: the run actually reconfigured.  Returns a list of
+    failure strings (empty = pass): at least one epoch reached cutover,
+    and the partition count changed (topology_change counter fired)."""
+    failures = []
+    reconfig = report.get("reconfig") or {}
+    epochs = reconfig.get("epochs") or []
+    if not epochs:
+        failures.append("no reconfiguration epochs in audit log")
+    elif not any("cutover_version" in e for e in epochs):
+        failures.append("no reconfiguration epoch reached cutover")
+    counters = reconfig.get("counters") or {}
+    if not counters.get("topology_change"):
+        failures.append(
+            "partition count never changed (topology_change counter is 0)"
+        )
+    return failures
+
+
 def _overload_section(metrics: Optional[dict]) -> dict:
     """Admission / backpressure / retry counters from the labeled
     namespace (``admission{event=..}``, ``client{event=..}``)."""
@@ -281,6 +426,9 @@ def build_report(artifacts: dict) -> dict:
         "partitions": _partition_section(artifacts.get("health") or []),
         "repartitions": _repartition_section(artifacts.get("audit") or []),
         "moved": _moved_section(artifacts.get("audit") or []),
+        "reconfig": _reconfig_section(
+            artifacts.get("audit") or [], artifacts.get("metrics")
+        ),
         "overload": _overload_section(artifacts.get("metrics")),
         "graph": _graph_section(artifacts.get("health") or []),
     }
@@ -370,6 +518,46 @@ def render_text(report: dict, out: TextIO) -> None:
                 f"  {entry['vertex']!r}: weight={entry['weight']:.1f}"
                 f" moves={entry['moves']}\n"
             )
+    reconfig = report.get("reconfig") or {}
+    if reconfig:
+        epochs = reconfig.get("epochs") or []
+        w(f"== Reconfigurations ({len(epochs)} epochs) ==\n")
+        for entry in epochs:
+            line = (
+                f"  epoch {entry['epoch']}: {entry.get('op', '?')}"
+                f" {entry.get('source', '?')}"
+            )
+            if entry.get("target"):
+                line += f" -> {entry['target']}"
+            if "cutover_version" in entry:
+                line += f" v{entry['cutover_version']}"
+            if "cutover_latency" in entry:
+                line += f" cutover={_fmt_ms(entry['cutover_latency'])}"
+            if "drain_latency" in entry:
+                line += f" drain={_fmt_ms(entry['drain_latency'])}"
+            if "handoff_objects" in entry:
+                line += (
+                    f" handoff={entry['handoff_objects']}obj"
+                    f"/{entry.get('handoff_bytes', 0)}B"
+                )
+            w(line + "\n")
+        counters = reconfig.get("counters") or {}
+        if counters:
+            w(
+                "  clients: "
+                + " ".join(
+                    f"{name}={counters[name]}" for name in sorted(counters)
+                )
+                + "\n"
+            )
+        pc = reconfig.get("partition_count")
+        if pc:
+            first_t, first_n = pc["first"]
+            last_t, last_n = pc["last"]
+            w(
+                f"  partition_count: {first_n:.0f} (t={first_t:.1f})"
+                f" -> {last_n:.0f} (t={last_t:.1f})\n"
+            )
     overload = report.get("overload") or {}
     if overload.get("admission") or overload.get("client") or overload.get("server_busy"):
         w("== Overload / admission ==\n")
@@ -435,6 +623,12 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--metrics", default=None, help="override metrics path")
     parser.add_argument("--audit", default=None, help="override audit-log path")
     parser.add_argument("--health", default=None, help="override health path")
+    parser.add_argument(
+        "--check-reconfig",
+        action="store_true",
+        help="exit non-zero unless the run shows an elastic reconfiguration "
+        "(an epoch reaching cutover and a partition-count change)",
+    )
     args = parser.parse_args(argv)
 
     if not os.path.isdir(args.directory):
@@ -463,6 +657,13 @@ def main(argv: Optional[list] = None) -> int:
             render(report, fh)
     else:
         render(report, sys.stdout)
+    if args.check_reconfig:
+        failures = check_reconfig(report)
+        if failures:
+            for failure in failures:
+                print(f"check-reconfig: {failure}", file=sys.stderr)
+            return 1
+        print("check-reconfig: ok", file=sys.stderr)
     return 0
 
 

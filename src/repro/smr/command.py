@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 
 class CommandKind(enum.Enum):
@@ -30,12 +30,19 @@ class Command:
     ``op`` names the application operation; ``args`` are its arguments.
     ``kind`` distinguishes create/delete from ordinary access commands,
     which the oracle treats differently.
+
+    ``idem_key`` is an optional client-generated idempotency key: unlike
+    the uid (fresh per submission), the key survives a give-up-and-
+    resubmit, so the server result caches can answer a resubmitted
+    command under a *new* uid from the original execution — exactly-once
+    across reconfigurations and replica failover.
     """
 
     uid: str
     op: str
     args: tuple = ()
     kind: CommandKind = CommandKind.ACCESS
+    idem_key: Optional[str] = None
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"{self.op}{self.args}#{self.uid}"

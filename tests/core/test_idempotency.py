@@ -1,0 +1,123 @@
+"""Client idempotency keys end to end.
+
+A give-up-and-resubmit of the same logical operation (same ``idem_key``
+under a fresh uid) must be answered from the servers' key-indexed
+result cache instead of re-executing — exactly-once effects even when
+the client could not tell whether its first attempt landed.
+"""
+
+from repro.smr import Command
+from repro.smr.command import CommandKind
+
+from tests.core.conftest import build_system, ok_results, run_script
+
+
+def keys_by_partition(system):
+    by_part: dict = {}
+    for key, part in system.initial_assignment.items():
+        by_part.setdefault(part, []).append(key)
+    return {part: sorted(keys) for part, keys in by_part.items()}
+
+
+def same_partition_pair(system):
+    keys = max(keys_by_partition(system).values(), key=len)
+    assert len(keys) >= 2
+    return keys[0], keys[1]
+
+
+def value_of(key):
+    return int(key[1:])  # kv_app initializes k{i} -> i
+
+
+class TestIdempotencyKeys:
+    def test_resubmitted_transfer_executes_once(self):
+        system = build_system()
+        src, dst = same_partition_pair(system)
+        script = [
+            Command("c:1", "transfer", (src, dst, 5), idem_key="ik:t1"),
+            Command("c:2", "transfer", (src, dst, 5), idem_key="ik:t1"),
+            Command("c:3", "read", (src,)),
+            Command("c:4", "read", (dst,)),
+        ]
+        client = run_script(system, script)
+        results = ok_results(client)
+        # The duplicate is ACKed (from cache), not dropped or failed.
+        assert set(results) == {"c:1", "c:2", "c:3", "c:4"}
+        assert results["c:3"] == value_of(src) - 5
+        assert results["c:4"] == value_of(dst) + 5
+        assert results["c:2"] == results["c:1"]
+
+    def test_cross_partition_resubmit_executes_once(self):
+        system = build_system()
+        parts = keys_by_partition(system)
+        assert len(parts) == 2
+        (src, *_), (dst, *_) = (parts[p] for p in sorted(parts))
+        script = [
+            Command("c:1", "transfer", (src, dst, 3), idem_key="ik:x1"),
+            Command("c:2", "transfer", (src, dst, 3), idem_key="ik:x1"),
+            Command("c:3", "sum", (src, dst)),
+            Command("c:4", "read", (src,)),
+        ]
+        client = run_script(system, script)
+        results = ok_results(client)
+        assert set(results) == {"c:1", "c:2", "c:3", "c:4"}
+        # Conserved total, and exactly one transfer applied.
+        assert results["c:3"] == value_of(src) + value_of(dst)
+        assert results["c:4"] == value_of(src) - 3
+
+    def test_stale_resubmit_does_not_clobber_later_writes(self):
+        # The duplicate arrives after the state has moved on; the cached
+        # original answer is returned and the write is NOT re-applied.
+        system = build_system()
+        src, _ = same_partition_pair(system)
+        script = [
+            Command("c:1", "write", (src, 100), idem_key="ik:w1"),
+            Command("c:2", "write", (src, 200)),
+            Command("c:3", "write", (src, 100), idem_key="ik:w1"),
+            Command("c:4", "read", (src,)),
+        ]
+        client = run_script(system, script)
+        results = ok_results(client)
+        assert set(results) == {"c:1", "c:2", "c:3", "c:4"}
+        assert results["c:4"] == 200
+        assert results["c:3"] == results["c:1"]
+
+    def test_create_dedup_at_the_oracle(self):
+        # Creates route through the oracle; its idem-key ledger maps the
+        # resubmit back to the original uid instead of double-creating.
+        system = build_system()
+        script = [
+            Command("c:1", "create", ("fresh",), kind=CommandKind.CREATE, idem_key="ik:c1"),
+            Command("c:2", "create", ("fresh",), kind=CommandKind.CREATE, idem_key="ik:c1"),
+            Command("c:3", "read", ("fresh",)),
+        ]
+        client = run_script(system, script)
+        results = ok_results(client)
+        assert set(results) == {"c:1", "c:2", "c:3"}
+        assert results["c:3"] == 0
+
+    def test_client_flag_stamps_unique_keys(self):
+        from repro.core import DynaStarSystem, SystemConfig
+        from repro.sim import ConstantLatency
+        from repro.smr import KeyValueApp
+
+        system = DynaStarSystem(
+            KeyValueApp({f"k{i}": i for i in range(8)}),
+            SystemConfig(
+                n_partitions=2,
+                seed=3,
+                latency=ConstantLatency(0.001),
+                idempotency_keys=True,
+            ),
+        )
+        src, dst = same_partition_pair(system)
+        script = [
+            Command("c:1", "transfer", (src, dst, 1)),
+            Command("c:2", "transfer", (src, dst, 1)),
+            Command("c:3", "read", (dst,)),
+        ]
+        client = run_script(system, script)
+        results = ok_results(client)
+        # Distinct logical commands get distinct keys: both transfers
+        # really execute.
+        assert results["c:3"] == value_of(dst) + 2

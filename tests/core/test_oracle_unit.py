@@ -36,6 +36,48 @@ class TestChooseTarget:
         locations = (("a", "p1"), ("b", "p0"))
         assert oracle.choose_target(locations) == oracle.choose_target(locations)
 
+    def test_spread_policy_fans_out_ties(self):
+        oracle = oracle_of(build_system())
+        oracle.target_policy = "spread"
+        locations = (("a", "p1"), ("b", "p0"))
+        targets = {
+            oracle.choose_target(locations, uid=f"c:{i}") for i in range(32)
+        }
+        # Tied candidates both get traffic across distinct uids.
+        assert targets == {"p0", "p1"}
+
+    def test_spread_policy_respects_majority(self):
+        oracle = oracle_of(build_system())
+        oracle.target_policy = "spread"
+        locations = (("a", "p1"), ("b", "p1"), ("c", "p0"))
+        for i in range(8):
+            assert oracle.choose_target(locations, uid=f"c:{i}") == "p1"
+
+    def test_spread_policy_deterministic_across_replicas(self):
+        from repro.core import SystemConfig
+        from repro.core.system import DynaStarSystem
+        from repro.sim import ConstantLatency
+        from repro.smr import KeyValueApp
+
+        system = DynaStarSystem(
+            KeyValueApp({f"k{i}": i for i in range(8)}),
+            SystemConfig(
+                n_partitions=2,
+                seed=3,
+                latency=ConstantLatency(0.001),
+                target_policy="spread",
+            ),
+        )
+        replicas = system.oracle_replicas()
+        assert len(replicas) >= 2
+        locations = (("a", "p1"), ("b", "p0"))
+        for i in range(16):
+            picks = {
+                r.choose_target(locations, uid=f"c:{i}", attempt=i % 3)
+                for r in replicas
+            }
+            assert len(picks) == 1  # every replica routes identically
+
     def test_invalid_policy_rejected(self):
         from repro.core import SystemConfig
         from repro.core.system import DynaStarSystem

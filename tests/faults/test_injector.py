@@ -148,3 +148,73 @@ class TestGenerateForSystem:
             assert event.kind not in ("cut", "heal", "cut_oneway", "heal_oneway")
             if event.kind.startswith(("crash_", "recover_")):
                 assert event.args[0] != system.oracle_group
+
+
+class TestReconfigFaults:
+    """The three elastic-reconfiguration fault points resolve their
+    applicability at fire time: when nothing is in flight they log and
+    do nothing, so dense combs are safe to arm unconditionally."""
+
+    def test_all_three_noop_when_quiescent(self):
+        system = build_chaos_system()
+        schedule = (
+            FaultSchedule()
+            .at(0.5, "crash_mid_split", "p0")
+            .at(0.6, "crash_oracle_during_reconfig")
+            .at(0.7, "lose_cutover_msgs", 0.5, 0.3)
+        )
+        injector = ChaosInjector(system, schedule).arm()
+        system.run(until=1.0)
+        # Logged even as no-ops — the applied ledger is the replay record.
+        assert len(injector.applied) == 3
+        for name, group in system.directory.groups.items():
+            assert all(not r.crashed for r in group.replicas), name
+        assert not system.net._loss_bursts
+
+    def test_crash_oracle_during_reconfig_pairs_with_recover_leader(self):
+        system = build_chaos_system()
+        system.start()
+        for replica in system.oracle_replicas():
+            replica.reconfig_inflight = True
+        schedule = (
+            FaultSchedule()
+            .at(0.5, "crash_oracle_during_reconfig")
+            .at(1.5, "recover_leader", system.oracle_group)
+        )
+        ChaosInjector(system, schedule).arm()
+        system.run(until=1.0)
+        crashed = [r for r in system.oracle_replicas() if r.crashed]
+        assert len(crashed) == 1
+        system.run(until=2.0)
+        assert not crashed[0].crashed
+
+    def test_crash_mid_split_hits_a_replica_with_handoff_state(self):
+        system = build_chaos_system()
+        system.start()
+        victim = system.servers("p0")[0]
+        victim.in_transit.add("ghost-node")  # handoff state in flight
+        schedule = (
+            FaultSchedule()
+            .at(0.5, "crash_mid_split", "p0")
+            .at(1.5, "recover_leader", "p0")
+        )
+        ChaosInjector(system, schedule).arm()
+        system.run(until=1.0)
+        assert victim.crashed
+        assert all(
+            not r.crashed for r in system.servers("p0") if r is not victim
+        )
+        system.run(until=2.0)
+        assert not victim.crashed
+
+    def test_lose_cutover_msgs_bursts_only_in_flight(self):
+        system = build_chaos_system()
+        system.start()
+        system.oracle_replicas()[0].reconfig_inflight = True
+        schedule = FaultSchedule().at(0.5, "lose_cutover_msgs", 0.4, 0.3)
+        ChaosInjector(system, schedule).arm()
+        system.run(until=1.0)
+        p, reason = system.net._effective_loss(0.6)
+        assert p == 0.3 and reason == "loss_burst"
+        p, _ = system.net._effective_loss(1.5)
+        assert p == 0.0

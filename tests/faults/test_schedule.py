@@ -188,3 +188,77 @@ class TestTrafficFaultValidation:
         FaultEvent(1.0, "loss_burst", (2.0, 0.0))
         FaultEvent(1.0, "loss_burst", (2.0, 0.999))
         FaultEvent(1.0, "delay_spike", (0.5, 0.0))
+
+
+class TestReconfigFaultValidation:
+    def test_arities(self):
+        FaultEvent(1.0, "crash_mid_split", ("p0",))
+        FaultEvent(1.0, "crash_oracle_during_reconfig")
+        with pytest.raises(ValueError, match="takes 1 args"):
+            FaultEvent(1.0, "crash_mid_split", ())
+        with pytest.raises(ValueError, match="takes 0 args"):
+            FaultEvent(1.0, "crash_oracle_during_reconfig", ("oracle",))
+
+    def test_lose_cutover_msgs_shares_loss_burst_domain(self):
+        FaultEvent(1.0, "lose_cutover_msgs", (0.5, 0.0))
+        FaultEvent(1.0, "lose_cutover_msgs", (0.5, 0.999))
+        with pytest.raises(ValueError, match="duration must be positive"):
+            FaultEvent(1.0, "lose_cutover_msgs", (0.0, 0.5))
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            FaultEvent(1.0, "lose_cutover_msgs", (0.5, 1.0))
+
+
+ELASTIC_KINDS = {
+    "crash_mid_split", "crash_oracle_during_reconfig", "lose_cutover_msgs",
+}
+
+
+class TestGenerateReconfigFaults:
+    def _gen(self, seed, **kwargs):
+        config = ChaosConfig(duration=10.0, start_after=1.0, **kwargs)
+        return generate(config, ["p0", "p1"], seed=seed)
+
+    def test_elastic_kinds_absent_by_default(self):
+        assert not {e.kind for e in self._gen(42)} & ELASTIC_KINDS
+
+    def test_zero_counts_draw_nothing_from_the_rng(self):
+        # With all elastic counts at zero the knob *values* must be
+        # inert: pre-existing seeded schedules stay byte-identical.
+        a = self._gen(9)
+        b = self._gen(
+            9, cutover_loss_probability=0.9, cutover_loss_duration=5.0
+        )
+        assert [(e.at, e.kind, e.args) for e in a] == [
+            (e.at, e.kind, e.args) for e in b
+        ]
+
+    def test_mid_split_crashes_pair_with_recover_leader(self):
+        schedule = self._gen(7, mid_split_crashes=2)
+        crashes = [e for e in schedule if e.kind == "crash_mid_split"]
+        assert len(crashes) == 2
+        assert all(c.args[0] in ("p0", "p1") for c in crashes)
+        events = schedule.events
+        for crash in crashes:
+            assert any(
+                e.kind == "recover_leader"
+                and e.args == crash.args
+                and e.at > crash.at
+                for e in events
+            ), f"unrecovered {crash.describe()}"
+
+    def test_oracle_reconfig_crashes_recover_the_oracle(self):
+        schedule = self._gen(7, oracle_reconfig_crashes=1)
+        pairs = [(e.kind, e.args) for e in schedule]
+        assert ("crash_oracle_during_reconfig", ()) in pairs
+        assert ("recover_leader", ("oracle",)) in pairs
+
+    def test_cutover_loss_bursts_use_configured_shape(self):
+        schedule = self._gen(
+            7,
+            cutover_loss_bursts=2,
+            cutover_loss_duration=0.4,
+            cutover_loss_probability=0.25,
+        )
+        bursts = [e for e in schedule if e.kind == "lose_cutover_msgs"]
+        assert len(bursts) == 2
+        assert all(e.args == (0.4, 0.25) for e in bursts)
