@@ -13,11 +13,14 @@ Run:  python examples/quickstart.py
       python -m repro.obs.report /tmp/quickstart-obs
       python examples/quickstart.py --elastic --obs /tmp/quickstart-elastic
       python -m repro.obs.report /tmp/quickstart-elastic --check-reconfig
+      python examples/quickstart.py --compartment --obs /tmp/quickstart-reads
+      python -m repro.obs.report /tmp/quickstart-reads --check-reads
 """
 
 import argparse
 import random
 
+from repro.compartment import CompartmentConfig
 from repro.core import DynaStarSystem, SystemConfig
 from repro.core.client import ScriptedWorkload
 from repro.sim import ConstantLatency
@@ -96,6 +99,63 @@ def run_elastic(args) -> None:
               "--check-reconfig")
 
 
+def run_compartment(args) -> None:
+    """The compartmentalized variant: proxy-leader ingress, three read
+    learners per partition, and leader-lease local reads under a
+    read-heavy scripted workload — the CI compartment smoke checks the
+    exported artifacts with
+    ``python -m repro.obs.report DIR --check-reads``."""
+    app = KeyValueApp({f"account{i}": 100 for i in range(12)})
+    system = DynaStarSystem(
+        app,
+        SystemConfig(
+            n_partitions=2,
+            seed=42,
+            latency=ConstantLatency(0.001),
+            service_time=0.001,
+            client_timeout=1.0,
+            tracing=args.trace is not None or args.obs is not None,
+            audit=args.obs is not None,
+            health_sample_period=1.0 if args.obs is not None else None,
+            compartment=CompartmentConfig(
+                enabled=True, n_proxy_leaders=2, n_learners=3
+            ),
+        ),
+    )
+    keys = sorted(system.initial_assignment)
+    rng = random.Random(42)
+    commands = []
+    for i in range(600):
+        key = rng.choice(keys)
+        if rng.random() < 0.85:
+            commands.append(Command(f"c:{i}", "read", (key,)))
+        else:
+            commands.append(Command(f"c:{i}", "write", (key, i)))
+    client = system.add_client(ScriptedWorkload(commands))
+    system.run(until=30.0)
+
+    counters = system.monitor.snapshot()["counters"]
+    local_ok = sum(
+        v for k, v in counters.items()
+        if k.startswith("reads{") and "event=local_ok" in k
+    )
+    print(f"completed={client.completed}  failed={client.failed}")
+    print(f"local reads served: {local_ok} of {client.local_reads} dispatched")
+    for key in sorted(counters):
+        if key.startswith(("lease{", "learner_reads{", "proxy{")):
+            print(f"  {key} = {counters[key]}")
+    if not local_ok:
+        raise SystemExit("compartment quickstart served no local reads")
+
+    if args.obs:
+        from repro.experiments.harness import export_run_artifacts
+
+        written = export_run_artifacts(system, args.obs)
+        print(f"wrote run artifacts to {args.obs}: " + ", ".join(sorted(written)))
+        print(f"check them with: python -m repro.obs.report {args.obs} "
+              "--check-reads")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -117,11 +177,20 @@ def main() -> None:
         help="run the elastic variant: a hot-key workload that makes the "
         "oracle split a partition at runtime",
     )
+    parser.add_argument(
+        "--compartment",
+        action="store_true",
+        help="run the compartmentalized variant: proxy leaders, three "
+        "read learners per partition, and leader-lease local reads",
+    )
     # parse_known_args: the test suite runs this file under runpy with
     # pytest's own argv still in place.
     args, _ = parser.parse_known_args()
     if args.elastic:
         run_elastic(args)
+        return
+    if args.compartment:
+        run_compartment(args)
         return
     # 1. An application: a multi-key key-value store.  Every key is one
     #    DynaStar state variable (and one workload-graph node).

@@ -1,0 +1,61 @@
+"""Compartmentalized replication stages (Whittaker et al.).
+
+The consensus pipeline of one partition group is decomposed into
+independently scalable stages in front of and behind the replicated
+core:
+
+* :class:`~repro.compartment.proxy.ProxyLeader` — accepts, dedups and
+  batches client submissions before they reach the Paxos leader, so
+  ingress fan-in is no longer bounded by one leader actor.
+* :class:`~repro.compartment.learner.ReadLearner` — a read-only learner
+  holding a mirrored variable store fed by per-key-versioned deltas
+  from the core replicas; a group can run any number of them, and each
+  read executes on exactly *one* learner (unlike the replicated core,
+  where every replica executes every command), which is what makes
+  read throughput scale with learner count.
+* leader leases (:mod:`repro.compartment.lease`) — granted through the
+  consensus log on the virtual clock, renewed before expiry and
+  conservatively never reissued to a new holder until the old expiry
+  passes — let learners serve linearizable local reads without a
+  quorum round-trip.
+
+Everything here is opt-in via :class:`CompartmentConfig`; with
+``enabled=False`` no stage actors, timers, messages or RNG draws exist,
+so seeded runs stay byte-identical to a build without this package.
+"""
+
+from repro.compartment.config import CompartmentConfig
+from repro.compartment.lease import Lease, apply_grant, holder_at
+from repro.compartment.messages import (
+    ApplyUpdate,
+    FeedRequest,
+    FeedSnapshot,
+    LeaseGrant,
+    LocalRead,
+    ProbeReject,
+    ProxyBatch,
+    REMOVED,
+    SeqAck,
+    SeqProbe,
+)
+from repro.compartment.learner import ReadLearner
+from repro.compartment.proxy import ProxyLeader
+
+__all__ = [
+    "ApplyUpdate",
+    "CompartmentConfig",
+    "FeedRequest",
+    "FeedSnapshot",
+    "Lease",
+    "LeaseGrant",
+    "LocalRead",
+    "ProbeReject",
+    "ProxyBatch",
+    "ProxyLeader",
+    "REMOVED",
+    "ReadLearner",
+    "SeqAck",
+    "SeqProbe",
+    "apply_grant",
+    "holder_at",
+]

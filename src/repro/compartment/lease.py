@@ -1,0 +1,76 @@
+"""Leader-lease state machine (pure functions, hypothesis-testable).
+
+A lease is granted *through the consensus log*: every replica applies
+:class:`~repro.compartment.messages.LeaseGrant` entries in the same
+order, and acceptance depends only on (current lease state, grant), so
+the replicated lease state never diverges.
+
+Safety invariant (the hypothesis property in
+``tests/compartment/test_lease_property.py``): for any sequence of
+applied grants, no two *different* holders are ever simultaneously
+valid.  It follows from the acceptance rule — a grant naming a new
+holder is accepted only if its ``granted_at`` is at or after the
+current lease's expiry ("conservatively not reissued until the old
+expiry passes"); a grant by the incumbent holder is a renewal and only
+ever extends the incumbent's own interval.
+
+All actors share one virtual clock, so validity checks
+(``granted_at <= now < expires_at``) are globally consistent; a real
+deployment would shrink the usable window by a clock-drift bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compartment.messages import LeaseGrant
+
+
+@dataclass(frozen=True, slots=True)
+class Lease:
+    """The currently applied lease of one partition group."""
+
+    holder: str
+    granted_at: float
+    expires_at: float
+
+
+def apply_grant(
+    current: Optional[Lease], grant: LeaseGrant
+) -> tuple[Optional[Lease], bool]:
+    """Apply one log-ordered grant; returns ``(new_state, accepted)``.
+
+    Deterministic: depends only on the arguments, never on local time,
+    so replicas applying the same log prefix hold the same lease state.
+    """
+    if grant.expires_at <= grant.granted_at:
+        return current, False
+    if current is None:
+        return Lease(grant.holder, grant.granted_at, grant.expires_at), True
+    if grant.holder == current.holder:
+        # Renewal: the incumbent only ever extends its own interval.
+        if grant.expires_at <= current.expires_at:
+            return current, False
+        return (
+            Lease(current.holder, current.granted_at, grant.expires_at),
+            True,
+        )
+    if grant.granted_at >= current.expires_at:
+        # Hand-over: only after the old lease has provably expired.
+        return Lease(grant.holder, grant.granted_at, grant.expires_at), True
+    return current, False
+
+
+def holder_at(lease: Optional[Lease], now: float) -> Optional[str]:
+    """Who holds a valid lease at virtual time ``now`` (or ``None``)."""
+    if lease is None:
+        return None
+    if lease.granted_at <= now < lease.expires_at:
+        return lease.holder
+    return None
+
+
+def held_by(lease: Optional[Lease], name: str, now: float) -> bool:
+    """True iff ``name`` holds a valid lease at ``now``."""
+    return holder_at(lease, now) == name

@@ -1,0 +1,114 @@
+"""Messages exchanged by the compartmentalized pipeline stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.smr.command import Command
+
+
+class _Removed:
+    """Sentinel marking a deleted variable in a feed delta/snapshot."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<removed>"
+
+
+#: Value slot of a feed entry whose variable was removed.
+REMOVED = _Removed()
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyBatch:
+    """Proxy leader -> core replicas: a deduplicated batch of ordering
+    submissions (:class:`~repro.multicast.basecast.OrderEvent`)."""
+
+    events: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class LocalRead:
+    """Client -> read learner: serve this read-only command locally
+    (lease-checked), or bounce it to the ordered path with RETRY."""
+
+    command: Command
+    client: str
+    attempt: int
+
+
+@dataclass(frozen=True, slots=True)
+class SeqProbe:
+    """Learner -> core replicas: which feed versions must I reach before
+    ``command`` reads linearizably?  Only the group's current valid
+    leaseholder answers (with :class:`SeqAck` or :class:`ProbeReject`);
+    everyone else stays silent and the learner re-probes."""
+
+    uid: str
+    command: Command
+    learner: str
+
+
+@dataclass(frozen=True, slots=True)
+class SeqAck:
+    """Leaseholder -> learner: per-variable feed versions the learner
+    must have applied before executing the probed read."""
+
+    uid: str
+    versions: tuple  # ((var, version), ...)
+    holder: str
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeReject:
+    """Leaseholder -> learner: this partition cannot serve the read
+    (not the owner / retiring); the learner replies RETRY so the client
+    refreshes its cache and takes the ordered path."""
+
+    uid: str
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class ApplyUpdate:
+    """Core replica -> learners: per-key-versioned store deltas.
+
+    Every core replica feeds every learner; entries carry the logical
+    per-variable mutation index (identical across replicas for the same
+    executed prefix), so learners apply them monotonically per key and
+    duplicate/out-of-order deliveries are no-ops."""
+
+    updates: tuple  # ((var, version, value-or-REMOVED), ...)
+
+
+@dataclass(frozen=True, slots=True)
+class FeedRequest:
+    """Learner -> one core replica: send me a full store snapshot (used
+    when a pending read stalls on missing deltas, and by the slow
+    periodic resync tick)."""
+
+    learner: str
+
+
+@dataclass(frozen=True, slots=True)
+class FeedSnapshot:
+    """Core replica -> learner: full versioned store contents."""
+
+    entries: tuple  # ((var, version, value-or-REMOVED), ...)
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseGrant:
+    """A leader-lease grant/renewal, submitted as a plain consensus log
+    value so every replica applies it at the same log position.
+
+    Validity is decided deterministically at apply time against the
+    replica's current lease state (see :mod:`repro.compartment.lease`);
+    an entry that loses the race is simply ignored by everyone."""
+
+    uid: str
+    holder: str
+    granted_at: float
+    expires_at: float

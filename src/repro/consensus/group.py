@@ -77,10 +77,32 @@ class PaxosGroup:
             network.register(replica)
             self.replicas.append(replica)
 
+        # Optional compartmentalized stages (attached by the system
+        # builder): ingress proxy leaders and read-only learners.  Empty
+        # in the default, non-compartmentalized deployment.
+        self.proxies: list = []
+        self.learners: list = []
+
+    def attach_stages(self, proxies, learners) -> None:
+        """Attach the group's compartmentalized stage actors (already
+        registered with the network); :meth:`start` arms their timers."""
+        self.proxies = list(proxies)
+        self.learners = list(learners)
+
+    @property
+    def proxy_names(self) -> list[str]:
+        return [proxy.name for proxy in self.proxies]
+
+    @property
+    def learner_names(self) -> list[str]:
+        return [learner.name for learner in self.learners]
+
     def start(self) -> None:
         """Arm all replica timers; call once the simulation is wired up."""
         for replica in self.replicas:
             replica.start()
+        for stage in (*self.proxies, *self.learners):
+            stage.start()
 
     def submit(self, value: Any) -> None:
         """Inject ``value`` for ordering (test convenience; production code

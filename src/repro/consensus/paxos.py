@@ -84,6 +84,29 @@ class ReplicaConfig:
     snapshot_chunk_max: int = 128
     snapshot_target_rtt: float = 0.05
 
+    def __post_init__(self) -> None:
+        # The pipelining/batching knobs are load-bearing for liveness: a
+        # zero or negative window/batch silently wedges `_flush_pending`
+        # instead of failing loudly at configuration time.
+        if not isinstance(self.window, int) or isinstance(self.window, bool) or self.window < 1:
+            raise ValueError(f"window must be a positive int, got {self.window!r}")
+        if (
+            not isinstance(self.max_batch, int)
+            or isinstance(self.max_batch, bool)
+            or self.max_batch < 1
+        ):
+            raise ValueError(
+                f"max_batch must be a positive int, got {self.max_batch!r}"
+            )
+        if (
+            isinstance(self.batch_delay, bool)
+            or not isinstance(self.batch_delay, (int, float))
+            or self.batch_delay <= 0
+        ):
+            raise ValueError(
+                f"batch_delay must be positive, got {self.batch_delay!r}"
+            )
+
 
 class Acceptor(Actor):
     """A Paxos acceptor: one promise ballot for all instances, per-instance

@@ -19,6 +19,7 @@ import random
 from collections import Counter
 from typing import Any, Optional
 
+from repro.compartment.messages import LocalRead
 from repro.core.admission import CircuitBreaker, RetryBudget, TokenBucket
 from repro.core.messages import (
     ExecCommand,
@@ -120,6 +121,7 @@ class DynaStarClient(Actor):
         breaker_jitter: float = 0.0,
         think_time: Optional[float] = None,
         idempotency_keys: bool = False,
+        learners_of=None,
         rng: Optional[random.Random] = None,
         tracer: Optional[Tracer] = None,
     ):
@@ -190,6 +192,14 @@ class DynaStarClient(Actor):
         #: cache answers instead of re-executing.
         self.idempotency_keys = idempotency_keys
         self._ik_seq = 0
+        #: Compartmentalized read routing: ``learners_of(partition)``
+        #: returns the partition's read-learner names (empty/None keeps
+        #: every read on the ordered path).  First attempts of cached,
+        #: single-partition, read-only commands go to one learner chosen
+        #: by the seeded ``spread`` hash; every failure mode (RETRY,
+        #: timeout) falls back to the ordered path at attempt >= 1.
+        self.learners_of = learners_of
+        self.local_reads = 0
 
         self.cache: dict[Any, str] = {}
         self.completed = 0
@@ -428,9 +438,40 @@ class DynaStarClient(Actor):
             locations = tuple(
                 sorted(((n, self.cache[n]) for n in nodes), key=lambda kv: repr(kv[0]))
             )
+            if self._try_local_read(locations):
+                return
             self._dispatch(locations, self._choose_target(locations))
         else:
             self._query_oracle()
+
+    def _try_local_read(self, locations: tuple) -> bool:
+        """Route a cached, single-partition, read-only first attempt to
+        one of the partition's read learners (seeded spread)."""
+        if self.learners_of is None or self._attempt != 0:
+            return False
+        command = self._current
+        if not self.app.is_readonly(command):
+            return False
+        partitions = {p for _, p in locations}
+        if len(partitions) != 1:
+            return False
+        partition = next(iter(partitions))
+        learners = tuple(self.learners_of(partition) or ())
+        if not learners:
+            return False
+        target = learners[
+            _stable_hash((command.uid, self._attempt)) % len(learners)
+        ]
+        self._was_multi = False
+        self.local_reads += 1
+        self.monitor.counter("reads", event="local_dispatch").inc()
+        if self.tracer.enabled:
+            self.tracer.finish(
+                command.uid, "client-submit", self.now, disc=self._attempt,
+                target=target, local_read=True,
+            )
+        self.send(target, LocalRead(command, self.name, self._attempt))
+        return True
 
     def _query_oracle(self) -> None:
         command = self._current

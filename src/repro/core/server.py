@@ -28,6 +28,19 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Any, Optional
 
+from repro.compartment.config import CompartmentConfig
+from repro.compartment.lease import Lease, apply_grant, held_by
+from repro.compartment.messages import (
+    ApplyUpdate,
+    FeedRequest,
+    FeedSnapshot,
+    LeaseGrant,
+    ProbeReject,
+    ProxyBatch,
+    REMOVED,
+    SeqAck,
+    SeqProbe,
+)
 from repro.consensus.messages import Submit
 from repro.core.admission import ADMIT, AdmissionController
 from repro.core.messages import (
@@ -52,6 +65,7 @@ from repro.obs import audit as audit_mod
 from repro.obs.audit import NULL_AUDIT, AuditLog
 from repro.sim.monitor import Monitor
 from repro.smr.command import Reply, ReplyStatus
+from repro.smr.fastcopy import copy_value
 from repro.smr.statemachine import AppStateMachine, VariableStore
 
 #: Commands touching more nodes than this record a star instead of a
@@ -83,6 +97,8 @@ class PartitionServer(MulticastReplica):
         admission_retry_after: float = 0.05,
         admission_ttl: float = 30.0,
         audit: Optional[AuditLog] = None,
+        compartment: Optional[CompartmentConfig] = None,
+        learner_names: tuple = (),
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -118,6 +134,37 @@ class PartitionServer(MulticastReplica):
 
         self.partition = self.group
         self.store = VariableStore()
+
+        # Compartmentalized pipeline (None/disabled => zero footprint:
+        # no observer, no timers, no extra messages).
+        self.compartment = compartment
+        self.learner_names = tuple(learner_names)
+        self._compartment_enabled = (
+            compartment is not None and compartment.enabled
+        )
+        self._lease_enabled = (
+            self._compartment_enabled and compartment.lease_enabled
+        )
+        #: Per-variable logical mutation index — the learner-feed version.
+        #: Deterministic across replicas for the same executed prefix, and
+        #: kept complete (removed variables keep their last version) so
+        #: snapshots can carry tombstones.
+        self._feed_versions: dict = {}
+        self._feed_dirty: dict = {}
+        self._feed_timer = None
+        #: Replicated lease state (applied through the log) plus local
+        #: holder-side bookkeeping.
+        self._lease: Optional[Lease] = None
+        self._lease_seq = 0
+        #: A recovered (or fault-injected) holder abandons its own lease:
+        #: it stops answering probes and renewing until this time passes,
+        #: then re-acquires through the log — which forces it to first
+        #: catch up on everything ordered while it was down.
+        self._lease_abandoned_until = 0.0
+        self._lease_expiry_noted = 0.0
+        if self._compartment_enabled and self.learner_names:
+            self.store.set_observer(self._on_store_mutation)
+
         self.owned_nodes: set = set()
         self.node_vars: dict[Any, set] = {}
         self.in_transit: set = set()
@@ -192,11 +239,21 @@ class PartitionServer(MulticastReplica):
             self.set_periodic_timer(self.hint_period, self._flush_hints)
         if self.retransmit_period > 0:
             self.set_periodic_timer(self.retransmit_period, self._retransmit_outbox)
+        if self._lease_enabled:
+            self.set_periodic_timer(
+                self.compartment.lease_renew_margin / 2, self._lease_tick
+            )
 
     def on_recover(self) -> None:
         self._service_timer = None
         self._next_free = 0.0
         self._drain_timer_armed = False
+        self._feed_timer = None
+        if self._lease is not None and self._lease.holder == self.name:
+            # A recovered holder cannot trust reads against its possibly
+            # stale execution state: abandon the lease and re-acquire it
+            # through the log after the old expiry.
+            self._abandon_lease()
         super().on_recover()
         # The execution queue and gather buffers are stable; whatever was
         # ready to run before the crash can run again now.
@@ -277,7 +334,27 @@ class PartitionServer(MulticastReplica):
                 sender, message.value.message
             ):
                 return
+        elif isinstance(message, ProxyBatch):
+            for event in message.events:
+                self._on_proxied_submit(event)
+            return
         super().on_message(sender, message)
+
+    def _on_proxied_submit(self, event: OrderEvent) -> None:
+        """A submission relayed by a proxy leader.  The admission gates
+        key on ``payload.client == sender`` to wave protocol-internal
+        traffic through — a proxied client command must NOT ride that
+        exemption, so gate it as if the client had sent it directly."""
+        msg = event.message
+        client = getattr(msg.payload, "client", None)
+        if client is not None:
+            if (self.draining or self.retired) and not self._admit_retiring(
+                client, msg
+            ):
+                return
+            if self.admission is not None and not self._admit(client, msg):
+                return
+        self.submit(event)
 
     def _admit_retiring(self, sender: str, msg: MulticastMessage) -> bool:
         """A retiring partition refuses fresh client traffic at the same
@@ -466,6 +543,208 @@ class PartitionServer(MulticastReplica):
             self._on_transfer_failed(message)
         elif isinstance(message, PlanTransfer):
             self._on_plan_transfer(message)
+        elif isinstance(message, SeqProbe):
+            self._on_seq_probe(message)
+        elif isinstance(message, FeedRequest):
+            self._on_feed_request(message)
+
+    # -- compartmentalized stages: learner feed ------------------------------------
+
+    def _on_store_mutation(self, var: Any, removed: bool) -> None:
+        """Store observer (every mutation path funnels through it): bump
+        the variable's logical version, remember the dirty entry, and arm
+        a zero-delay flush so one execution's writes ship as one delta."""
+        self._feed_versions[var] = self._feed_versions.get(var, 0) + 1
+        self._feed_dirty[var] = removed
+        if self._feed_timer is None or not self._feed_timer.active:
+            self._feed_timer = self.set_timer(0.0, self._flush_feed)
+
+    def _feed_entry(self, var: Any) -> tuple:
+        if var in self.store:
+            value = self.store.get(var)
+        else:
+            value = REMOVED
+        return (var, self._feed_versions.get(var, 0), value)
+
+    def _flush_feed(self) -> None:
+        if not self._feed_dirty:
+            return
+        updates = tuple(
+            self._feed_entry(var)
+            for var in sorted(self._feed_dirty, key=repr)
+        )
+        self._feed_dirty.clear()
+        # Deep-copy once per delta; learners apply idempotently per key,
+        # so every replica feeding every learner is redundancy, not risk.
+        delta = ApplyUpdate(
+            tuple(
+                (var, version, value if value is REMOVED else copy_value(value))
+                for var, version, value in updates
+            )
+        )
+        self.send_all(self.learner_names, delta)
+
+    def _on_feed_request(self, msg: FeedRequest) -> None:
+        if not self._compartment_enabled:
+            return
+        entries = tuple(
+            self._feed_entry(var)
+            for var in sorted(self._feed_versions, key=repr)
+        )
+        snapshot = FeedSnapshot(
+            tuple(
+                (var, version, value if value is REMOVED else copy_value(value))
+                for var, version, value in entries
+            )
+        )
+        self.send(msg.learner, snapshot)
+
+    # -- compartmentalized stages: leader leases -----------------------------------
+
+    def _abandon_lease(self) -> None:
+        if self._lease is not None:
+            self._lease_abandoned_until = max(
+                self._lease_abandoned_until, self._lease.expires_at
+            )
+
+    def _lease_tick(self) -> None:
+        lease = self._lease
+        if (
+            lease is not None
+            and self.now >= lease.expires_at
+            and self._lease_expiry_noted < lease.expires_at
+        ):
+            self._lease_expiry_noted = lease.expires_at
+            if self._records_metrics:
+                self.monitor.counter(
+                    "lease", partition=self.partition, event="expired"
+                ).inc()
+        if self.retired or self.draining or not self.is_leader:
+            return
+        if self.now < self._lease_abandoned_until:
+            return
+        if lease is not None:
+            if lease.holder == self.name:
+                if (
+                    self.now < lease.expires_at
+                    and lease.expires_at - self.now
+                    > self.compartment.lease_renew_margin
+                ):
+                    return  # still fresh, no renewal needed yet
+            elif self.now < lease.expires_at:
+                # Conservative hand-over: never propose over a live lease;
+                # the grant would be rejected at apply time anyway.
+                return
+        self._lease_seq += 1
+        granted = self.now
+        self.submit(
+            LeaseGrant(
+                uid=f"lease:{self.name}:{self._lease_seq}:{granted:.6f}",
+                holder=self.name,
+                granted_at=granted,
+                expires_at=granted + self.compartment.lease_duration,
+            )
+        )
+
+    def deliver_value(self, value: Any) -> None:
+        if isinstance(value, LeaseGrant):
+            self._apply_lease_grant(value)
+            return
+        super().deliver_value(value)
+
+    def _apply_lease_grant(self, grant: LeaseGrant) -> None:
+        """Log-ordered, deterministic: every replica applies the same
+        grants in the same order against the same lease state."""
+        previous = self._lease
+        self._lease, accepted = apply_grant(previous, grant)
+        if self._records_metrics:
+            if not accepted:
+                event = "rejected"
+            elif previous is not None and previous.holder == grant.holder:
+                event = "renewed"
+            else:
+                event = "granted"
+            self.monitor.counter(
+                "lease", partition=self.partition, event=event
+            ).inc()
+
+    # -- compartmentalized stages: lease-checked read probes -----------------------
+
+    def _payload_touches(self, payload: Any, nodes: frozenset) -> bool:
+        command = getattr(payload, "command", None)
+        if command is None:
+            # Plans, drains, unknown payloads: assume the worst.
+            return True
+        return bool(nodes & self.app.nodes_of(command))
+
+    def _must_defer_probe(self, nodes: frozenset) -> bool:
+        """True while an already-ordered (or still-ordering) command could
+        still mutate the probed variables.  The leader learns every
+        decision first and delivers strictly in order, so anything any
+        replica may have executed and replied is — at this replica, the
+        leaseholding leader — either executed (covered by the feed
+        versions) or visible in these buffers (deferred)."""
+        if any(node in self.in_transit for node in nodes):
+            return True
+        for payload in self.queue:
+            if self._payload_touches(payload, nodes):
+                return True
+        for entry in self.pending_msgs.values():
+            if self._payload_touches(entry.message.payload, nodes):
+                return True
+        return False
+
+    def _on_seq_probe(self, probe: SeqProbe) -> None:
+        """Answer a learner's read probe — only as the valid leaseholder.
+
+        Silence (no valid lease, abandoned lease, deferred answer) makes
+        the learner re-probe until its deadline; rejection bounces the
+        client to the ordered path via RETRY."""
+        if not self._lease_enabled:
+            return
+        if (
+            not held_by(self._lease, self.name, self.now)
+            or self.now < self._lease_abandoned_until
+            or not self.is_leader
+        ):
+            return
+        if self.retired or self.draining:
+            self.send(probe.learner, ProbeReject(probe.uid, "retiring"))
+            return
+        nodes = self.app.nodes_of(probe.command)
+        if any(
+            node not in self.owned_nodes and node not in self.in_transit
+            for node in nodes
+        ):
+            if self._records_metrics:
+                self.monitor.counter(
+                    "lease", partition=self.partition, event="probe_rejected"
+                ).inc()
+            self.send(probe.learner, ProbeReject(probe.uid, "not-owner"))
+            return
+        if self._must_defer_probe(nodes):
+            if self._records_metrics:
+                self.monitor.counter(
+                    "lease", partition=self.partition, event="probe_deferred"
+                ).inc()
+            return
+        versions = []
+        for node in sorted(nodes, key=repr):
+            for var in sorted(self.node_vars.get(node, ()), key=repr):
+                versions.append((var, self._feed_versions.get(var, 0)))
+        for var in sorted(
+            self.app.concrete_variables_of(probe.command), key=repr
+        ):
+            entry = (var, self._feed_versions.get(var, 0))
+            if entry not in versions:
+                versions.append(entry)
+        if self._records_metrics:
+            self.monitor.counter(
+                "lease", partition=self.partition, event="probe_answered"
+            ).inc()
+        self.send(
+            probe.learner, SeqAck(probe.uid, tuple(versions), self.name)
+        )
 
     # -- the execution queue -------------------------------------------------------
 
@@ -540,6 +819,10 @@ class PartitionServer(MulticastReplica):
         self._record_hint(record_hint_nodes)
         if self._records_metrics:
             self._pseries("tput").record(self.now)
+            if self._compartment_enabled and self.app.is_readonly(command):
+                self.monitor.counter(
+                    "reads", partition=self.partition, event="ordered"
+                ).inc()
 
     def _trace_execute_start(self, payload) -> None:
         """Close ``queue`` and open ``execute``.  Execution is atomic on
@@ -1364,6 +1647,18 @@ class PartitionServer(MulticastReplica):
             "executed_count": self.executed_count,
             "multi_partition_count": self.multi_partition_count,
         }
+        if self._compartment_enabled:
+            lease = self._lease
+            state["compartment.state"] = {
+                "feed_versions": sorted(self._feed_versions.items(), key=repr),
+                "lease": (
+                    None
+                    if lease is None
+                    else (lease.holder, lease.granted_at, lease.expires_at)
+                ),
+                "lease_seq": self._lease_seq,
+                "lease_abandoned_until": self._lease_abandoned_until,
+            }
         return state
 
     def install_app_state(self, sections: dict) -> None:
@@ -1373,6 +1668,27 @@ class PartitionServer(MulticastReplica):
         for var, value in sections.get("server.store", {}).items():
             self.store.insert_copy(var, value)
             self._index_var(var)
+        if self._compartment_enabled:
+            # The snapshot's feed versions replace the observer-driven
+            # counts *before* the observer is re-attached to the fresh
+            # store, so the install itself does not bump them.
+            cstate = sections.get("compartment.state", {})
+            self._feed_versions = dict(cstate.get("feed_versions", ()))
+            self._feed_dirty = {}
+            self._feed_timer = None
+            lease = cstate.get("lease")
+            self._lease = None if lease is None else Lease(*lease)
+            self._lease_seq = cstate.get("lease_seq", 0)
+            self._lease_abandoned_until = cstate.get(
+                "lease_abandoned_until", 0.0
+            )
+            if self.learner_names:
+                self.store.set_observer(self._on_store_mutation)
+            # Installed state may be ahead of the pre-crash store: treat
+            # reads against it as suspect until re-granted through the
+            # log (same reasoning as on_recover).
+            if self._lease is not None and self._lease.holder == self.name:
+                self._abandon_lease()
         state = sections.get("server.state", {})
         self.owned_nodes = set(state.get("owned_nodes", ()))
         self.in_transit = set(state.get("in_transit", ()))

@@ -22,10 +22,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Optional, Union
 
+from repro.compartment import CompartmentConfig, ProxyLeader, ReadLearner
 from repro.consensus.group import GroupConfig
 from repro.consensus.paxos import ReplicaConfig
 from repro.core.client import DynaStarClient, Workload
-from repro.core.oracle import OracleReplica
+from repro.core.oracle import OracleReplica, _stable_hash
 from repro.core.server import PartitionServer
 from repro.elastic import ElasticConfig, ElasticityController
 from repro.multicast.basecast import GroupDirectory
@@ -150,6 +151,11 @@ class SystemConfig:
     #: retries (fresh uid) still hit the servers' exactly-once cache.
     idempotency_keys: bool = False
     replica: ReplicaConfig = field(default_factory=ReplicaConfig)
+    #: Compartmentalized replication: proxy-leader ingress, scale-out
+    #: read-only learners, and leader-lease local reads.  Disabled by
+    #: default — a disabled system creates no stage actors, installs no
+    #: submit router, and leaves every seeded trace byte-identical.
+    compartment: CompartmentConfig = field(default_factory=CompartmentConfig)
 
 
 class DynaStarSystem:
@@ -167,6 +173,13 @@ class DynaStarSystem:
         cfg = self.config
         if cfg.mode not in ("dynastar", "ssmr", "dssmr"):
             raise ValueError(f"unknown mode {cfg.mode!r}")
+        if cfg.compartment.enabled and cfg.elastic_enabled:
+            # Mid-run provisioned groups would need their own stage
+            # actors; that wiring does not exist yet, so fail loudly
+            # rather than route submissions to unregistered proxies.
+            raise ValueError(
+                "compartment.enabled and elastic_enabled are mutually exclusive"
+            )
 
         self.seeds = SeedSequenceFactory(cfg.seed)
         #: One tracer shared by every actor; spans opened on one actor
@@ -209,6 +222,11 @@ class DynaStarSystem:
                 replica_factory=self.server_factory,
                 rng=self.seeds.rng(f"group:{name}"),
             )
+
+        if cfg.compartment.enabled:
+            for name in self.partition_names:
+                self._attach_compartment_stages(name)
+            self.directory.submit_router = self._route_submit
 
         self._elastic_config: Optional[ElasticConfig] = (
             ElasticConfig(
@@ -281,6 +299,64 @@ class DynaStarSystem:
 
     # -- construction helpers ----------------------------------------------
 
+    def _learner_names_of(self, partition: str) -> tuple:
+        """Learner actor names of one partition group (deterministic, so
+        servers can be handed the names before the actors exist)."""
+        cc = self.config.compartment
+        if not cc.enabled:
+            return ()
+        return tuple(f"{partition}/learner{i}" for i in range(cc.n_learners))
+
+    def _attach_compartment_stages(self, partition: str) -> None:
+        cfg = self.config
+        cc = cfg.compartment
+        group = self.directory.groups[partition]
+        replicas = tuple(group.replica_names)
+        proxies = [
+            self.net.register(
+                ProxyLeader(
+                    f"{partition}/proxy{i}",
+                    partition,
+                    replicas,
+                    batch_delay=cc.proxy_batch_delay,
+                    max_batch=cc.proxy_max_batch,
+                    monitor=self.monitor,
+                )
+            )
+            for i in range(cc.n_proxy_leaders)
+        ]
+        learners = [
+            self.net.register(
+                ReadLearner(
+                    f"{partition}/learner{i}",
+                    partition,
+                    replicas,
+                    app=self.app,
+                    config=cc,
+                    monitor=self.monitor,
+                    tracer=self.tracer,
+                    service_time=cfg.service_time,
+                )
+            )
+            for i in range(cc.n_learners)
+        ]
+        group.attach_stages(proxies, learners)
+
+    def _route_submit(self, group_name: str, message) -> Optional[tuple]:
+        """Ingress router installed on the group directory: client-facing
+        submissions to a staged group go to one proxy leader (picked by
+        stable hash of the message uid, so retries under a fresh attempt
+        uid re-roll the choice); everything else — oracle traffic,
+        protocol payloads without a ``client`` — takes the default
+        every-replica fan-out."""
+        group = self.directory.groups.get(group_name)
+        if group is None or not group.proxies:
+            return None
+        if getattr(message.payload, "client", None) is None:
+            return None
+        proxies = group.proxy_names
+        return (proxies[_stable_hash(message.uid) % len(proxies)],)
+
     def _server_factory(self):
         cfg = self.config
         system = self
@@ -311,6 +387,8 @@ class DynaStarSystem:
             admission_headroom=cfg.admission_headroom,
             admission_retry_after=cfg.admission_retry_after,
             admission_ttl=cfg.admission_ttl,
+            compartment=cfg.compartment if cfg.compartment.enabled else None,
+            learner_names=self._learner_names_of(kwargs["group"]),
             **kwargs,
         )
 
@@ -408,6 +486,11 @@ class DynaStarSystem:
             breaker_jitter=cfg.client_breaker_jitter,
             think_time=cfg.client_think_time,
             idempotency_keys=cfg.idempotency_keys,
+            learners_of=(
+                self._learner_names_of
+                if cfg.compartment.enabled and cfg.compartment.lease_enabled
+                else None
+            ),
             rng=self.seeds.rng(f"client:{name}"),
             tracer=self.tracer,
         )

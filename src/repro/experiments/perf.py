@@ -14,6 +14,9 @@ Scenarios
 * ``tpcc`` — TPC-C with warehouse-aligned partitions.
 * ``chaos`` — Chirper under message loss, crashes, link cuts, and
   client-timeout retries.
+* ``read_heavy`` — the compartmentalized read-path scenario (proxy
+  leaders + 3 read learners + leader leases) next to its leader-only
+  baseline; records the read-throughput scaling ratio.
 * ``micro.*`` — event dispatch, ``Network.send``, ``Monitor`` counter
   increments, ``fastcopy.copy_value``, and the disabled-path cost of
   the observability hooks in isolation.
@@ -178,6 +181,47 @@ def run_chaos(quick: bool) -> dict:
         "events": system.sim.events_processed,
         "events_per_sec": system.sim.events_processed / wall,
         "commands_completed": system.total_completed(),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run_read_heavy(quick: bool) -> dict:
+    """The compartmentalized read-path macro and its leader-only
+    baseline, on the identical seeded offered load; the scaling ratio
+    is the acceptance number the compartment work is gated on."""
+    from dataclasses import replace
+
+    from repro.experiments.compartment import (
+        CompartmentScenario,
+        build_scenario,
+    )
+
+    scenario = CompartmentScenario(duration=3.0 if quick else 6.0)
+    system, _injector, _workloads = build_scenario(scenario)
+    _, wall = _timed(lambda: system.run(until=scenario.duration + 30.0))
+    counters = system.monitor.snapshot()["counters"]
+    local_ok = sum(
+        v for k, v in counters.items()
+        if k.startswith("reads{") and "event=local_ok" in k
+    )
+    baseline_system, _i, _w = build_scenario(
+        replace(scenario, compartment=False)
+    )
+    _, baseline_wall = _timed(
+        lambda: baseline_system.run(until=scenario.duration + 30.0)
+    )
+    completed = system.total_completed()
+    baseline_completed = baseline_system.total_completed()
+    return {
+        "wall_clock_s": wall + baseline_wall,
+        "events": system.sim.events_processed,
+        "events_per_sec": system.sim.events_processed / wall,
+        "commands_completed": completed,
+        "local_reads_ok": local_ok,
+        "baseline_commands_completed": baseline_completed,
+        "read_scaling_ratio": (
+            completed / baseline_completed if baseline_completed else None
+        ),
         "peak_rss_kb": _peak_rss_kb(),
     }
 
@@ -390,7 +434,7 @@ def compare_to_baseline(scenarios: dict, baseline: dict) -> dict:
     """events/sec improvement per macro scenario vs. the recorded
     pre-optimization baseline (positive = faster now)."""
     comparison = {}
-    for name in ("social_macro", "tpcc", "chaos"):
+    for name in ("social_macro", "tpcc", "chaos", "read_heavy"):
         base = (baseline.get("scenarios", {}) or {}).get(name)
         current = scenarios.get(name)
         if not base or not current:
@@ -457,6 +501,7 @@ def main(argv=None) -> int:
             ("social_macro", run_social_macro),
             ("tpcc", run_tpcc),
             ("chaos", run_chaos),
+            ("read_heavy", run_read_heavy),
         ):
             print(f"[perf] running {name} ...", flush=True)
             scenarios[name] = runner(args.quick)

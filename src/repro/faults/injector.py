@@ -201,6 +201,39 @@ class ChaosInjector:
             self.system.sim.now, duration, probability
         )
 
+    # -- compartmentalized-stage fault points ---------------------------------
+
+    def _do_crash_proxy_leader(self, group: str) -> None:
+        """Crash an alive proxy leader of ``group``, preferring one with
+        buffered (not yet forwarded) submissions so the fault lands on
+        in-flight traffic when possible.  The victim joins the
+        ``crash_leader`` ledger so a paired ``recover_leader`` brings it
+        back.  No-op (still logged) when the group has no alive proxies."""
+        proxies = [
+            p for p in getattr(self._group(group), "proxies", ()) if not p.crashed
+        ]
+        if not proxies:
+            return
+        victim = max(proxies, key=lambda p: p.buffered)
+        victim.crash()
+        self._crashed_leaders.setdefault(group, []).append(victim)
+
+    def _do_expire_lease(self, group: str) -> None:
+        """Forcibly abandon ``group``'s leader lease at its current
+        holder, as if the lease had expired: the holder stops answering
+        read probes until it re-acquires a lease through the log, so
+        in-flight local reads bounce to the ordered path.  No-op (still
+        logged) when no replica holds a currently-valid lease."""
+        from repro.compartment.lease import held_by
+
+        for replica in self._group(group).replicas:
+            if replica.crashed:
+                continue
+            lease = getattr(replica, "_lease", None)
+            if lease is not None and held_by(lease, replica.name, replica.now):
+                replica._abandon_lease()
+                return
+
     # -- links --------------------------------------------------------------
 
     def _do_cut(self, a: str, b: str) -> None:

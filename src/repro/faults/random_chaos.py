@@ -62,6 +62,14 @@ class ChaosConfig:
     cutover_loss_bursts: int = 0
     cutover_loss_probability: float = 0.3
     cutover_loss_duration: float = 1.0
+    #: Compartmentalized-stage fault windows (zero counts draw nothing,
+    #: keeping existing seeded schedules identical).  ``proxy_crashes``
+    #: kills an alive proxy leader (preferring one with buffered
+    #: traffic); ``lease_expiries`` forces the current lease holder to
+    #: abandon its lease mid-validity.  Both resolve at fire time and
+    #: no-op against a non-compartmentalized system.
+    proxy_crashes: int = 0
+    lease_expiries: int = 0
 
     def __post_init__(self):
         if self.duration <= self.start_after:
@@ -163,6 +171,16 @@ def generate(
                 start, "lose_cutover_msgs",
                 config.cutover_loss_duration, config.cutover_loss_probability,
             )
+    # Compartmentalized-stage faults (same zero-count guard).  Proxy
+    # crashes pair with recover_leader via the shared crash ledger.
+    if config.proxy_crashes > 0 and groups:
+        for start, end in _windows(rng, config, config.proxy_crashes):
+            group = rng.choice(list(groups))
+            schedule.at(start, "crash_proxy_leader", group)
+            schedule.at(end, "recover_leader", group)
+    if config.lease_expiries > 0 and groups:
+        for start, _end in _windows(rng, config, config.lease_expiries):
+            schedule.at(start, "expire_lease", rng.choice(list(groups)))
 
     return schedule
 

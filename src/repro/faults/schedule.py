@@ -40,6 +40,12 @@ crash_oracle_during_reconfig () — crash an oracle replica while a
 lose_cutover_msgs   (duration, probability) — loss burst that fires only
                                 if a reconfiguration is in flight at
                                 fire time (targets the cutover window)
+crash_proxy_leader  (group,)  — crash an alive proxy leader of the group,
+                                preferring one with buffered submissions
+                                (no-op if the group has no alive proxies)
+expire_lease        (group,)  — forcibly abandon the group's current
+                                leader lease at the holder, as if it had
+                                expired (no-op if no valid lease is held)
 ==================  =============================================
 
 Schedules are plain data: they can be written by hand in tests, emitted
@@ -75,6 +81,8 @@ _KIND_ARITY = {
     "crash_mid_split": 1,
     "crash_oracle_during_reconfig": 0,
     "lose_cutover_msgs": 2,
+    "crash_proxy_leader": 1,
+    "expire_lease": 1,
 }
 
 FAULT_KINDS = frozenset(_KIND_ARITY)

@@ -390,6 +390,13 @@ class GroupDirectory:
         self.groups: dict[str, MulticastGroup] = {}
         self._seq = itertools.count()
         self._fifo_counters: dict[tuple[str, str], int] = {}
+        #: Optional ingress hook (compartmentalized mode): called as
+        #: ``submit_router(group_name, message)`` and returns the actor
+        #: names that should receive the Submit instead of the group's
+        #: replicas, or ``None`` for the default fan-out.  Installed by
+        #: the system builder so this layer stays ignorant of the stage
+        #: actors above it.
+        self.submit_router = None
 
     def add(self, group: MulticastGroup) -> MulticastGroup:
         self.groups[group.name] = group
@@ -458,9 +465,16 @@ class GroupDirectory:
 
     def amcast(self, sender, message: MulticastMessage) -> None:
         """Atomically multicast ``message`` from actor ``sender``: submit
-        an OrderEvent to every replica of every destination group."""
+        an OrderEvent to every replica of every destination group (or to
+        the group's ingress stage when a submit router is installed)."""
         event = OrderEvent(message)
         for group_name in message.dests:
+            if self.submit_router is not None:
+                routed = self.submit_router(group_name, message)
+                if routed is not None:
+                    for dest in routed:
+                        sender.send(dest, Submit(event))
+                    continue
             for replica in self.replicas_of(group_name):
                 sender.send(replica, Submit(event))
 

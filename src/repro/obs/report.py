@@ -35,6 +35,9 @@ The report sections:
   during drains, topology changes) and the partition-count trajectory;
 * **overload** — admission/backpressure/retry counters grouped from the
   labeled-metric namespace;
+* **reads** — compartmentalized read-path breakdown: local (lease-read)
+  vs ordered read executions, lease lifecycle counters (grants,
+  renewals, expiries, probe outcomes), and per-learner read counts;
 * **graph** — edge-cut / cut-fraction / imbalance trajectory endpoints.
 
 ``build_report`` is a pure function of the loaded artifacts, and JSON
@@ -384,6 +387,67 @@ def check_reconfig(report: dict) -> list:
     return failures
 
 
+def _reads_section(metrics: Optional[dict]) -> dict:
+    """Compartmentalized read-path breakdown from the labeled counters
+    (``reads{event=..}``, ``lease{event=..}``, ``learner_reads{..}``).
+    Empty when the run never exercised the read path."""
+    if not metrics:
+        return {}
+    counters = metrics.get("counters", {})
+    local: dict = {}
+    ordered = 0
+    lease: dict = {}
+    per_learner: dict = {}
+    for key, value in counters.items():
+        if key.startswith("reads{") and key.endswith("}"):
+            event = _parse_labels(key[len("reads{") : -1]).get("event")
+            if event == "ordered":
+                ordered += value
+            elif event:
+                local[event] = local.get(event, 0) + value
+        elif key.startswith("lease{") and key.endswith("}"):
+            event = _parse_labels(key[len("lease{") : -1]).get("event")
+            if event:
+                lease[event] = lease.get(event, 0) + value
+        elif key.startswith("learner_reads{") and key.endswith("}"):
+            learner = _parse_labels(key[len("learner_reads{") : -1]).get(
+                "learner"
+            )
+            if learner:
+                per_learner[learner] = per_learner.get(learner, 0) + value
+    if not local and not ordered and not lease and not per_learner:
+        return {}
+    served = local.get("local_ok", 0) + local.get("local_nok", 0)
+    total = served + ordered
+    return {
+        "local": dict(sorted(local.items())),
+        "ordered": ordered,
+        "local_served": served,
+        "local_fraction": (served / total) if total else 0.0,
+        "lease": dict(sorted(lease.items())),
+        "per_learner": dict(sorted(per_learner.items())),
+    }
+
+
+def check_reads(report: dict) -> list:
+    """CI assertion: the run actually served lease-checked local reads.
+    Returns a list of failure strings (empty = pass): at least one local
+    read completed OK, a lease was granted, and the per-learner read
+    breakdown is non-empty (reads actually landed on learner actors)."""
+    failures = []
+    reads = report.get("reads") or {}
+    if not reads:
+        failures.append("no read-path counters in metrics")
+        return failures
+    if not reads.get("local", {}).get("local_ok"):
+        failures.append("no local read completed OK (reads{event=local_ok})")
+    if not reads.get("lease", {}).get("granted"):
+        failures.append("no lease was ever granted (lease{event=granted})")
+    if not reads.get("per_learner"):
+        failures.append("no per-learner read counts (learner_reads{..})")
+    return failures
+
+
 def _overload_section(metrics: Optional[dict]) -> dict:
     """Admission / backpressure / retry counters from the labeled
     namespace (``admission{event=..}``, ``client{event=..}``)."""
@@ -430,6 +494,7 @@ def build_report(artifacts: dict) -> dict:
             artifacts.get("audit") or [], artifacts.get("metrics")
         ),
         "overload": _overload_section(artifacts.get("metrics")),
+        "reads": _reads_section(artifacts.get("metrics")),
         "graph": _graph_section(artifacts.get("health") or []),
     }
     traces = artifacts.get("trace")
@@ -566,6 +631,30 @@ def render_text(report: dict, out: TextIO) -> None:
                 w(f"  {base}.{event_name}={overload[base][event_name]}\n")
         if "server_busy" in overload:
             w(f"  server_busy={overload['server_busy']}\n")
+    reads = report.get("reads") or {}
+    if reads:
+        w("== Reads ==\n")
+        local = reads.get("local") or {}
+        w(
+            f"  local: served={reads.get('local_served', 0)}"
+            f" ordered={reads.get('ordered', 0)}"
+            f" local_fraction={reads.get('local_fraction', 0.0):.3f}\n"
+        )
+        if local:
+            w(
+                "  local events: "
+                + " ".join(f"{name}={local[name]}" for name in sorted(local))
+                + "\n"
+            )
+        lease = reads.get("lease") or {}
+        if lease:
+            w(
+                "  lease: "
+                + " ".join(f"{name}={lease[name]}" for name in sorted(lease))
+                + "\n"
+            )
+        for learner in sorted(reads.get("per_learner") or {}):
+            w(f"  {learner}: reads={reads['per_learner'][learner]}\n")
     graph = report.get("graph") or {}
     if graph:
         w("== Graph quality ==\n")
@@ -629,6 +718,12 @@ def main(argv: Optional[list] = None) -> int:
         help="exit non-zero unless the run shows an elastic reconfiguration "
         "(an epoch reaching cutover and a partition-count change)",
     )
+    parser.add_argument(
+        "--check-reads",
+        action="store_true",
+        help="exit non-zero unless the run served lease-checked local "
+        "reads (a lease granted, local_ok > 0, per-learner counts present)",
+    )
     args = parser.parse_args(argv)
 
     if not os.path.isdir(args.directory):
@@ -664,6 +759,13 @@ def main(argv: Optional[list] = None) -> int:
                 print(f"check-reconfig: {failure}", file=sys.stderr)
             return 1
         print("check-reconfig: ok", file=sys.stderr)
+    if args.check_reads:
+        failures = check_reads(report)
+        if failures:
+            for failure in failures:
+                print(f"check-reads: {failure}", file=sys.stderr)
+            return 1
+        print("check-reads: ok", file=sys.stderr)
     return 0
 
 

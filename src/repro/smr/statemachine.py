@@ -24,7 +24,7 @@ import copy
 from dataclasses import dataclass
 
 from repro.smr.fastcopy import copy_value
-from typing import Any, Hashable, Iterable, Optional
+from typing import Any, Callable, Hashable, Iterable, Optional
 
 from repro.smr.command import Command
 
@@ -54,6 +54,15 @@ class VariableStore:
         self._data: dict[Hashable, Any] = {}
         self._written: Optional[set] = None
         self._removed: Optional[set] = None
+        self._observer: Optional[Callable[[Hashable, bool], None]] = None
+
+    def set_observer(self, observer: Optional[Callable[[Hashable, bool], None]]) -> None:
+        """Install a mutation observer called as ``observer(var, removed)``
+        on every write/remove (used by the compartmentalized learner feed
+        — every mutation path funnels through ``_note_write``/
+        ``_note_remove``, so one hook covers puts, takes, transfers and
+        plan moves alike)."""
+        self._observer = observer
 
     # -- mutation tracking (used by servers to learn inserts/deletes) ----
 
@@ -73,11 +82,15 @@ class VariableStore:
         if self._written is not None:
             self._written.add(var)
             self._removed.discard(var)
+        if self._observer is not None:
+            self._observer(var, False)
 
     def _note_remove(self, var: Hashable) -> None:
         if self._removed is not None:
             self._removed.add(var)
             self._written.discard(var)
+        if self._observer is not None:
+            self._observer(var, True)
 
     def __contains__(self, var: Hashable) -> bool:
         return var in self._data
@@ -186,6 +199,15 @@ class AppStateMachine:
         """Apply ``command`` to ``store`` and return its result."""
         raise NotImplementedError
 
+    def is_readonly(self, command: Command) -> bool:
+        """True iff ``execute`` never mutates the store for ``command``.
+
+        Read-only commands are eligible for lease-checked local reads on
+        a partition's learner replicas (compartmentalized mode).  The
+        safe default is ``False`` — such commands simply take the
+        ordered path."""
+        return False
+
     def initial_variables(self) -> dict:
         """{var: initial value} used to preload partitions."""
         return {}
@@ -230,6 +252,9 @@ class KeyValueApp(AppStateMachine):
         if op in ("create", "delete"):
             return frozenset({command.args[0]})
         raise ValueError(f"unknown op {op!r}")
+
+    def is_readonly(self, command: Command) -> bool:
+        return command.op in ("read", "sum")
 
     def execute(self, command: Command, store: VariableStore) -> Any:
         op = command.op

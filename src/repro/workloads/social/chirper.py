@@ -77,6 +77,9 @@ class ChirperApp(AppStateMachine):
             return frozenset({user_var(command.args[0])})
         raise ValueError(f"unknown chirper op {op!r}")
 
+    def is_readonly(self, command: Command) -> bool:
+        return command.op == "timeline"
+
     # -- execution -----------------------------------------------------------
 
     def execute(self, command: Command, store: VariableStore):

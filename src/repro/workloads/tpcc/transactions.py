@@ -156,6 +156,9 @@ class TPCCApp(AppStateMachine):
                 rows.append(order_line_key(w, d, o_id, n))
         return rows
 
+    def is_readonly(self, command: Command) -> bool:
+        return command.op in ("order_status", "stock_level")
+
     # -- execution ----------------------------------------------------------------
 
     def execute(self, command: Command, store: VariableStore):

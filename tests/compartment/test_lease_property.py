@@ -1,0 +1,114 @@
+"""Property tests for the leader-lease state machine.
+
+The lease is replicated by applying :class:`LeaseGrant` entries in log
+order; :func:`apply_grant` is a pure function of (state, grant).  The
+safety property backing local reads: across ANY sequence of grants, the
+accepted validity intervals of two *different* holders never overlap —
+so at no virtual time can two nodes both believe they hold the lease.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compartment import Lease, apply_grant, holder_at
+from repro.compartment.lease import held_by
+from repro.compartment.messages import LeaseGrant
+
+HOLDERS = ("p0/r0", "p0/r1", "p0/r2")
+
+grants = st.builds(
+    LeaseGrant,
+    uid=st.just("g"),
+    holder=st.sampled_from(HOLDERS),
+    granted_at=st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False),
+    expires_at=st.floats(0.0, 60.0, allow_nan=False, allow_infinity=False),
+)
+
+
+def _replay(sequence):
+    """Apply a grant sequence; returns (final_state, accepted_leases)."""
+    state = None
+    accepted = []
+    for grant in sequence:
+        state, ok = apply_grant(state, grant)
+        if ok:
+            accepted.append(state)
+    return state, accepted
+
+
+@given(st.lists(grants, max_size=40))
+@settings(max_examples=300, deadline=None)
+def test_no_two_holders_simultaneously_valid(sequence):
+    """Core safety: validity intervals of different holders are disjoint.
+
+    Every accepted state is a lease some replica may act on until the
+    next grant lands, so we compare all pairs across the whole history,
+    not just consecutive states.
+    """
+    _, accepted = _replay(sequence)
+    for i, a in enumerate(accepted):
+        assert a.granted_at < a.expires_at
+        for b in accepted[i + 1:]:
+            if a.holder == b.holder:
+                continue
+            overlap = min(a.expires_at, b.expires_at) - max(
+                a.granted_at, b.granted_at
+            )
+            assert overlap <= 0, (
+                f"{a.holder} and {b.holder} both valid for {overlap}s: "
+                f"{a} vs {b}"
+            )
+
+
+@given(st.lists(grants, max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_rejected_grants_leave_state_unchanged(sequence):
+    state = None
+    for grant in sequence:
+        new_state, ok = apply_grant(state, grant)
+        if not ok:
+            assert new_state is state
+        state = new_state
+
+
+@given(st.lists(grants, max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_renewals_never_shrink_and_never_change_holder(sequence):
+    """Once granted, a holder's interval only ever extends — a later
+    accepted state for the same holder keeps granted_at and grows
+    expires_at, and a holder change implies the old lease had expired
+    by the new grant's start."""
+    state = None
+    for grant in sequence:
+        new_state, ok = apply_grant(state, grant)
+        if ok and state is not None:
+            if new_state.holder == state.holder:
+                assert new_state.granted_at == state.granted_at
+                assert new_state.expires_at > state.expires_at
+            else:
+                assert new_state.granted_at >= state.expires_at
+        state = new_state
+
+
+@given(
+    holder=st.sampled_from(HOLDERS),
+    granted_at=st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False),
+    delta=st.floats(-10.0, 0.0, allow_nan=False, allow_infinity=False),
+)
+def test_empty_or_inverted_intervals_rejected(holder, granted_at, delta):
+    grant = LeaseGrant("g", holder, granted_at, granted_at + delta)
+    state, ok = apply_grant(None, grant)
+    assert not ok
+    assert state is None
+
+
+def test_holder_at_is_half_open():
+    lease = Lease("p0/r0", granted_at=1.0, expires_at=2.0)
+    assert holder_at(lease, 0.999) is None
+    assert holder_at(lease, 1.0) == "p0/r0"
+    assert holder_at(lease, 1.999) == "p0/r0"
+    assert holder_at(lease, 2.0) is None
+    assert holder_at(None, 1.0) is None
+    assert held_by(lease, "p0/r0", 1.5)
+    assert not held_by(lease, "p0/r1", 1.5)
+    assert not held_by(lease, "p0/r0", 2.0)
