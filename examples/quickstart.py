@@ -183,6 +183,14 @@ def main() -> None:
         help="run the compartmentalized variant: proxy leaders, three "
         "read learners per partition, and leader-lease local reads",
     )
+    parser.add_argument(
+        "--lanes",
+        type=int,
+        metavar="K",
+        default=1,
+        help="execute non-conflicting commands on K parallel lanes per "
+        "partition (1 = serial legacy order; see DESIGN.md section 10)",
+    )
     # parse_known_args: the test suite runs this file under runpy with
     # pytest's own argv still in place.
     args, _ = parser.parse_known_args()
@@ -204,6 +212,7 @@ def main() -> None:
             n_partitions=2,
             seed=42,
             latency=ConstantLatency(0.001),  # 1 ms one-way links
+            execution_lanes=args.lanes,
             tracing=args.trace is not None or args.obs is not None,
             audit=args.obs is not None,
             health_sample_period=1.0 if args.obs is not None else None,

@@ -33,7 +33,7 @@ class SSMRServer(PartitionServer):
         command = payload.command
         key = (command.uid, payload.attempt)
         claimed = set(payload.nodes_at(self.partition))
-        state = self._head_state
+        state = self._cmd_state(payload)
 
         if not state.get("checked"):
             if any(node not in self.owned_nodes for node in claimed):
@@ -160,6 +160,7 @@ class SSMRSystem(DynaStarSystem):
             oracle_group=self.oracle_group,
             hint_period=cfg.hint_period,
             service_time=cfg.service_time,
+            lanes=cfg.execution_lanes,
             **kwargs,
         )
 

@@ -160,6 +160,17 @@ class ReadLearner(Actor):
         uid = msg.command.uid
         if uid in self._pending:
             return
+        if not self.app.is_readonly(msg.command):
+            # A mutating command must never execute against the mirror:
+            # it would "succeed" locally without ever being ordered.
+            # Bounce it to the ordered path (clients only send read-only
+            # commands here, so this guards against bugs, not workloads).
+            self._count("reads", event="local_reject")
+            self.send(
+                msg.client,
+                Reply(uid, ReplyStatus.RETRY, None, msg.attempt, self.group),
+            )
+            return
         self._count("reads", event="local_attempt")
         self.tracer.begin(
             uid, "local-read", self.now, disc=msg.attempt, learner=self.name

@@ -66,7 +66,12 @@ from repro.obs.audit import NULL_AUDIT, AuditLog
 from repro.sim.monitor import Monitor
 from repro.smr.command import Reply, ReplyStatus
 from repro.smr.fastcopy import copy_value
-from repro.smr.statemachine import AppStateMachine, VariableStore
+from repro.smr.statemachine import (
+    AppStateMachine,
+    VariableStore,
+    footprint_of,
+    footprints_conflict,
+)
 
 #: Commands touching more nodes than this record a star instead of a
 #: clique in the workload-graph hint (keeps hint sizes linear for e.g.
@@ -91,6 +96,7 @@ class PartitionServer(MulticastReplica):
         hint_period: float = 1.0,
         hints_enabled: bool = True,
         service_time: float = 0.0,
+        lanes: int = 1,
         retransmit_period: float = 0.5,
         admission_bound: Optional[int] = None,
         admission_headroom: Optional[int] = None,
@@ -117,6 +123,21 @@ class PartitionServer(MulticastReplica):
         self.service_time = service_time
         self._next_free = 0.0
         self._service_timer = None
+        #: Virtual execution lanes (dependency-aware parallel execution,
+        #: P-SMR-style).  ``lanes=1`` keeps the legacy strictly serial
+        #: pump byte-for-byte; ``lanes>1`` lets non-conflicting decided
+        #: commands overlap in simulated service time and bypass a head
+        #: stalled on in-transit borrowed variables.
+        self.lanes = max(1, int(lanes))
+        self._lane_free = [0.0] * self.lanes
+        self._last_lane = 0
+        #: Per-payload protocol state, keyed (uid, attempt) — the lanes
+        #: equivalent of ``_head_state`` (which is head-coupled and so
+        #: only sound for the serial pump).  Stable: checkpointed.
+        self._cmd_states: dict[tuple, dict] = {}
+        #: Conflict-footprint cache, derivable from app + command:
+        #: volatile by design.
+        self._fp_cache: dict[tuple, Any] = {}
 
         #: Ingress admission control (queue-based load leveling); None
         #: disables it.  Volatile by design — not checkpointed; the TTL
@@ -247,6 +268,7 @@ class PartitionServer(MulticastReplica):
     def on_recover(self) -> None:
         self._service_timer = None
         self._next_free = 0.0
+        self._lane_free = [0.0] * self.lanes
         self._drain_timer_armed = False
         self._feed_timer = None
         if self._lease is not None and self._lease.holder == self.name:
@@ -711,6 +733,11 @@ class PartitionServer(MulticastReplica):
         if self.retired or self.draining:
             self.send(probe.learner, ProbeReject(probe.uid, "retiring"))
             return
+        if not self.app.is_readonly(probe.command):
+            # A mutating command must never be served off a learner
+            # mirror — bounce it to the ordered path.
+            self.send(probe.learner, ProbeReject(probe.uid, "not-readonly"))
+            return
         nodes = self.app.nodes_of(probe.command)
         if any(
             node not in self.owned_nodes and node not in self.in_transit
@@ -749,6 +776,14 @@ class PartitionServer(MulticastReplica):
     # -- the execution queue -------------------------------------------------------
 
     def _pump(self) -> None:
+        if self.lanes <= 1:
+            self._pump_serial()
+        else:
+            self._pump_lanes()
+
+    def _pump_serial(self) -> None:
+        """The legacy strictly serial executor (``lanes=1``): the queue
+        head blocks everything behind it."""
         while self.queue:
             head = self.queue[0]
             if isinstance(head, ExecCommand):
@@ -770,11 +805,103 @@ class PartitionServer(MulticastReplica):
             self.queue.popleft()
             self._head_state = {}
 
+    def _pump_lanes(self) -> None:
+        """Dependency-aware scheduler (``lanes>1``).
+
+        Scans the decided prefix front-to-back.  A command may dispatch
+        out of log order iff its conflict footprint (read/write variable
+        sets, wildcards at node granularity) is disjoint from every
+        not-yet-executed command ahead of it — so conflicting commands
+        retain log order, and a head stalled on in-transit borrowed
+        variables no longer blocks independent commands behind it.
+
+        Ownership-changing payloads (create/delete/plan/drain) are
+        barriers: they run only at the very front of the queue and
+        nothing may pass them — they are the only payloads that change
+        node ownership, which is what makes the bypassing commands'
+        ownership/RETRY checks order-insensitive.
+        """
+        progressed = True
+        while progressed:
+            progressed = False
+            blockers: list = []
+            idx = 0
+            while idx < len(self.queue):
+                payload = self.queue[idx]
+                if isinstance(payload, (ExecCommand, GlobalCommand)):
+                    fp = self._footprint(payload)
+                    if any(footprints_conflict(fp, b) for b in blockers):
+                        blockers.append(fp)
+                        idx += 1
+                        continue
+                    if not self._lanes_gate():
+                        return  # every lane busy; re-pump when one frees
+                    if isinstance(payload, ExecCommand):
+                        done = self._try_exec(payload)
+                    else:
+                        done = self._try_global(payload)
+                    if done:
+                        del self.queue[idx]
+                        self._drop_cmd_state(payload)
+                        progressed = True
+                        break  # restart the scan: lanes/state changed
+                    blockers.append(fp)
+                    idx += 1
+                else:
+                    if idx > 0:
+                        return  # barrier: nothing behind it may run
+                    if isinstance(payload, CreateVar):
+                        done = self._apply_create(payload)
+                    elif isinstance(payload, DeleteVar):
+                        done = self._apply_delete(payload)
+                    elif isinstance(payload, PartitionPlan):
+                        done = self._apply_plan(payload)
+                    elif isinstance(payload, DrainComplete):
+                        done = self._apply_drain_complete(payload)
+                    else:
+                        done = True  # unknown payloads are skipped
+                    if not done:
+                        return
+                    self.queue.popleft()
+                    progressed = True
+                    break
+
+    def _footprint(self, payload):
+        """Cached conflict footprint of a queued command payload."""
+        key = (payload.command.uid, payload.attempt)
+        fp = self._fp_cache.get(key)
+        if fp is None:
+            fp = footprint_of(self.app, payload.command)
+            self._fp_cache[key] = fp
+        return fp
+
+    def _cmd_state(self, payload) -> dict:
+        """Per-command protocol state ("checked"/"sent" flags).
+
+        Serial mode uses the head-coupled ``_head_state`` (reset when the
+        head pops) — byte-identical legacy behavior.  Lanes mode keys the
+        state by (uid, attempt) so several in-flight multi-partition
+        commands track their own progress."""
+        if self.lanes <= 1:
+            return self._head_state
+        key = (payload.command.uid, payload.attempt)
+        state = self._cmd_states.get(key)
+        if state is None:
+            state = self._cmd_states[key] = {}
+        return state
+
+    def _drop_cmd_state(self, payload) -> None:
+        key = (payload.command.uid, payload.attempt)
+        self._cmd_states.pop(key, None)
+        self._fp_cache.pop(key, None)
+
     # -- single-partition commands -----------------------------------------------------
 
     def _gate_service(self) -> bool:
-        """True when the simulated CPU is free; otherwise re-pumps once
-        the current command's service time has elapsed."""
+        """True when a simulated CPU lane is free; otherwise re-pumps
+        once the earliest busy lane's service time has elapsed."""
+        if self.lanes > 1:
+            return self._lanes_gate()
         if self.service_time <= 0 or self.now >= self._next_free:
             return True
         if self._service_timer is None or not self._service_timer.active:
@@ -783,9 +910,38 @@ class PartitionServer(MulticastReplica):
             )
         return False
 
+    def _lanes_gate(self) -> bool:
+        if self.service_time <= 0:
+            return True
+        free_at = min(self._lane_free)
+        if self.now >= free_at:
+            return True
+        if self._service_timer is None or not self._service_timer.active:
+            self._service_timer = self.set_timer(free_at - self.now, self._pump)
+        return False
+
     def _consume_service(self) -> None:
-        if self.service_time > 0:
+        if self.service_time <= 0:
+            return
+        if self.lanes <= 1:
             self._next_free = max(self._next_free, self.now) + self.service_time
+            return
+        lane = min(range(self.lanes), key=self._lane_free.__getitem__)
+        self._lane_free[lane] = (
+            max(self._lane_free[lane], self.now) + self.service_time
+        )
+        self._last_lane = lane
+        if self._records_metrics:
+            self._lane_series(lane).record(self.now)
+
+    def _lane_series(self, lane: int):
+        series = self._partition_series.get(f"lane{lane}")
+        if series is None:
+            series = self.monitor.series(
+                "lane_occupancy", partition=self.partition, lane=str(lane)
+            )
+            self._partition_series[f"lane{lane}"] = series
+        return series
 
     def _try_exec(self, payload: ExecCommand) -> bool:
         command = payload.command
@@ -833,10 +989,17 @@ class PartitionServer(MulticastReplica):
             return
         uid = payload.command.uid
         self.tracer.finish(uid, "queue", self.now, disc=payload.attempt)
-        self.tracer.begin(
-            uid, "execute", self.now, disc=payload.attempt,
-            partition=self.partition, service_time=self.service_time,
-        )
+        if self.lanes > 1:
+            self.tracer.begin(
+                uid, "execute", self.now, disc=payload.attempt,
+                partition=self.partition, service_time=self.service_time,
+                lane=self._last_lane,
+            )
+        else:
+            self.tracer.begin(
+                uid, "execute", self.now, disc=payload.attempt,
+                partition=self.partition, service_time=self.service_time,
+            )
 
     def _trace_execute_end(self, payload, status) -> None:
         if not self.tracer.enabled:
@@ -918,7 +1081,7 @@ class PartitionServer(MulticastReplica):
         command = payload.command
         cmd_uid = command.uid
         claimed = payload.nodes_at(self.partition)
-        state = self._head_state
+        state = self._cmd_state(payload)
 
         # Duplicate detection applies only to a *fresh* head carrying a
         # different attempt than the one that executed.  The attempt that
@@ -1092,7 +1255,7 @@ class PartitionServer(MulticastReplica):
     def _global_as_source(self, payload: GlobalCommand) -> bool:
         command = payload.command
         key = (command.uid, payload.attempt)
-        state = self._head_state
+        state = self._cmd_state(payload)
 
         if not state.get("sent"):
             claimed = set(payload.nodes_at(self.partition))
@@ -1612,6 +1775,10 @@ class PartitionServer(MulticastReplica):
             # references is safe; installers re-copy on store insertion.
             "queue": tuple(self.queue),
             "head_state": dict(self._head_state),
+            "cmd_states": sorted(
+                ((key, dict(state)) for key, state in self._cmd_states.items()),
+                key=repr,
+            ),
             "recv_transfers": sorted(
                 ((key, sorted(buf.items())) for key, buf in self.recv_transfers.items()),
                 key=repr,
@@ -1696,6 +1863,11 @@ class PartitionServer(MulticastReplica):
         self.last_plan = dict(state.get("last_plan", ()))
         self.queue = deque(state.get("queue", ()))
         self._head_state = dict(state.get("head_state", {}))
+        self._cmd_states = {
+            key: dict(s) for key, s in state.get("cmd_states", ())
+        }
+        self._fp_cache = {}
+        self._lane_free = [0.0] * self.lanes
         self.recv_transfers = {
             key: dict(buf) for key, buf in state.get("recv_transfers", ())
         }

@@ -62,6 +62,11 @@ class SystemConfig:
     #: (0 = infinitely fast servers; benchmarks use ~1-2 ms so throughput
     #: saturates with the number of partitions as on real hardware).
     service_time: float = 0.0
+    #: Virtual execution lanes per partition replica (dependency-aware
+    #: parallel execution).  1 = the legacy strictly serial executor,
+    #: byte-identical traces; >1 lets commands with disjoint read/write
+    #: footprints overlap in service time and bypass a stalled head.
+    execution_lanes: int = 1
     latency: Optional[LatencyModel] = None
     oracle_dispatch: bool = False  # base protocol: oracle forwards commands
     #: Independent per-message drop probability (0 = reliable network).
@@ -173,6 +178,8 @@ class DynaStarSystem:
         cfg = self.config
         if cfg.mode not in ("dynastar", "ssmr", "dssmr"):
             raise ValueError(f"unknown mode {cfg.mode!r}")
+        if cfg.execution_lanes < 1:
+            raise ValueError("execution_lanes must be >= 1")
         if cfg.compartment.enabled and cfg.elastic_enabled:
             # Mid-run provisioned groups would need their own stage
             # actors; that wiring does not exist yet, so fail loudly
@@ -382,6 +389,7 @@ class DynaStarSystem:
             oracle_group=self.oracle_group,
             hint_period=cfg.hint_period,
             service_time=cfg.service_time,
+            lanes=cfg.execution_lanes,
             retransmit_period=cfg.retransmit_period,
             admission_bound=cfg.admission_bound,
             admission_headroom=cfg.admission_headroom,

@@ -166,6 +166,7 @@ def build_tpcc_system(
     service_time: float = DEFAULT_SERVICE_TIME,
     latency: Optional[LatencyModel] = None,
     hint_period: float = 1.0,
+    execution_lanes: int = 1,
 ):
     """A TPC-C deployment with one warehouse per partition (paper §6.3)."""
     tpcc_config = tpcc_config or TPCCConfig(n_warehouses=n_partitions)
@@ -180,6 +181,7 @@ def build_tpcc_system(
         service_time=service_time,
         latency=latency or lan_default(),
         hint_period=hint_period,
+        execution_lanes=execution_lanes,
     )
     if mode == "ssmr":
         system = SSMRSystem(app, config)
@@ -221,6 +223,7 @@ def build_chirper_system(
     service_time: float = DEFAULT_SERVICE_TIME,
     latency: Optional[LatencyModel] = None,
     hint_period: float = 1.0,
+    execution_lanes: int = 1,
 ):
     app = ChirperApp(graph)
     config = SystemConfig(
@@ -233,6 +236,7 @@ def build_chirper_system(
         service_time=service_time,
         latency=latency or lan_default(),
         hint_period=hint_period,
+        execution_lanes=execution_lanes,
     )
     if mode == "ssmr":
         return SSMRSystem(app, config)

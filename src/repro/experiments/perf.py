@@ -60,6 +60,7 @@ from repro.experiments.harness import (
     build_tpcc_system,
     make_social_graph,
     tpcc_workload,
+    warehouse_aligned_placement,
 )
 from repro.faults import ChaosConfig, ChaosInjector, generate_for_system
 from repro.sim.events import Simulator
@@ -145,6 +146,111 @@ def run_tpcc(quick: bool) -> dict:
         "commands_completed": system.total_completed(),
         "peak_rss_kb": _peak_rss_kb(),
     }
+
+
+#: Service time for the lane scenarios: high enough that execution (not
+#: protocol round-trips) dominates, so the lane count is what moves the
+#: completion numbers.
+LANES_SERVICE_TIME = 0.004
+
+#: Lane counts compared by the ablation (1 = the serial baseline).
+LANE_COUNTS = (1, 2, 4)
+
+
+def _lanes_tpcc_system(lanes: int, quick: bool):
+    """Warehouse-aligned TPC-C (minimal multi-partition traffic) with a
+    modeled service time: the intra-partition execution ablation rig."""
+    from repro.workloads.tpcc import TPCCConfig
+
+    tpcc_config = TPCCConfig(n_warehouses=2)
+    system, tpcc_config = build_tpcc_system(
+        2,
+        mode="dynastar",
+        placement=warehouse_aligned_placement(tpcc_config),
+        seed=SYSTEM_SEED,
+        tpcc_config=tpcc_config,
+        service_time=LANES_SERVICE_TIME,
+        execution_lanes=lanes,
+    )
+    return system, tpcc_config
+
+
+def run_tpcc_lanes(quick: bool) -> dict:
+    """The TPC-C macro with 4 execution lanes (dependency-aware parallel
+    intra-partition execution)."""
+    system, tpcc_config = _lanes_tpcc_system(4, quick)
+    workload = tpcc_workload(tpcc_config, seed=WORKLOAD_SEED)
+    n_clients = 12 if quick else 24
+    duration = 4.0 if quick else 10.0
+    for _ in range(n_clients):
+        system.add_client(workload, stop_at=duration)
+    _, wall = _timed(lambda: system.run(until=duration))
+    return {
+        "wall_clock_s": wall,
+        "events": system.sim.events_processed,
+        "events_per_sec": system.sim.events_processed / wall,
+        "commands_completed": system.total_completed(),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run_social_lanes(quick: bool) -> dict:
+    """The social macro with 4 execution lanes and a modeled service
+    time.  Posts and follows are writes over a skewed graph, so unlike
+    the near-disjoint TPC-C district streams this measures lane scaling
+    in the presence of real conflicts (timeline fan-in)."""
+    n_users = 120 if quick else 300
+    graph = make_social_graph(n_users, seed=SOCIAL_SEED)
+    system = build_chirper_system(
+        2,
+        graph,
+        mode="dynastar",
+        seed=SYSTEM_SEED,
+        repartition_threshold=4000,
+        service_time=LANES_SERVICE_TIME,
+        execution_lanes=4,
+    )
+    workload = ChirperWorkload(graph, mix="mix", seed=WORKLOAD_SEED)
+    n_clients = 8 if quick else 16
+    duration = 4.0 if quick else 10.0
+    for _ in range(n_clients):
+        system.add_client(workload, stop_at=duration)
+    _, wall = _timed(lambda: system.run(until=duration))
+    return {
+        "wall_clock_s": wall,
+        "events": system.sim.events_processed,
+        "events_per_sec": system.sim.events_processed / wall,
+        "commands_completed": system.total_completed(),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run_lanes_ablation(quick: bool) -> dict:
+    """Commands completed in a fixed virtual duration at each lane
+    count, on identical seeded offered load.  Virtual-time completion
+    counts are deterministic (unlike wall clock), so the speedup ratios
+    are exact and replayable — this is what ``--check-lanes`` gates on.
+    """
+    duration = 4.0 if quick else 8.0
+    n_clients = 12 if quick else 24
+    results: dict = {}
+    for lanes in LANE_COUNTS:
+        system, tpcc_config = _lanes_tpcc_system(lanes, quick)
+        workload = tpcc_workload(tpcc_config, seed=WORKLOAD_SEED)
+        for _ in range(n_clients):
+            system.add_client(workload, stop_at=duration)
+        _, wall = _timed(lambda: system.run(until=duration))
+        results[f"lanes{lanes}"] = {
+            "commands_completed": system.total_completed(),
+            "wall_clock_s": wall,
+        }
+    base = results["lanes1"]["commands_completed"]
+    for lanes in LANE_COUNTS[1:]:
+        entry = results[f"lanes{lanes}"]
+        entry["speedup_vs_serial"] = (
+            entry["commands_completed"] / base if base else None
+        )
+    return results
 
 
 def _chaos_system(quick: bool, tracing: bool = False):
@@ -350,6 +456,20 @@ def _traced_chaos_fingerprint(quick: bool) -> tuple:
     return _fingerprint(system)
 
 
+def _traced_lanes_fingerprint(quick: bool) -> tuple:
+    """The lane scheduler itself must be deterministic: a traced 4-lane
+    TPC-C run repeated in-process must export identical bytes."""
+    system, tpcc_config = _lanes_tpcc_system(4, quick)
+    system.config.tracing = True
+    system.tracer.enabled = True
+    workload = tpcc_workload(tpcc_config, seed=WORKLOAD_SEED)
+    duration = 2.0
+    for _ in range(6):
+        system.add_client(workload, stop_at=duration)
+    system.run(until=duration)
+    return _fingerprint(system)
+
+
 def _fingerprint(system) -> tuple:
     """(trace_jsonl, metrics_json) for one finished run."""
     buf = io.StringIO()
@@ -365,6 +485,7 @@ def _sha256(text: str) -> str:
 GATE_SCENARIOS = {
     "social_macro": _traced_social_fingerprint,
     "chaos": _traced_chaos_fingerprint,
+    "tpcc_lanes": _traced_lanes_fingerprint,
 }
 
 
@@ -434,7 +555,7 @@ def compare_to_baseline(scenarios: dict, baseline: dict) -> dict:
     """events/sec improvement per macro scenario vs. the recorded
     pre-optimization baseline (positive = faster now)."""
     comparison = {}
-    for name in ("social_macro", "tpcc", "chaos", "read_heavy"):
+    for name in ("social_macro", "tpcc", "tpcc_lanes", "chaos", "read_heavy"):
         base = (baseline.get("scenarios", {}) or {}).get(name)
         current = scenarios.get(name)
         if not base or not current:
@@ -488,6 +609,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="also fail when trace digests differ from the baseline's",
     )
+    parser.add_argument(
+        "--check-lanes",
+        action="store_true",
+        help=(
+            "fail unless the 4-lane TPC-C ablation completes >= 1.5x the "
+            "serial baseline's commands (deterministic virtual-time ratio)"
+        ),
+    )
+    parser.add_argument(
+        "--check-tpcc-regression",
+        action="store_true",
+        help=(
+            "fail when tpcc events/s drops more than 25%% below the "
+            "recorded baseline (generous: wall clock is noisy on shared "
+            "runners)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     baseline_path = (
@@ -500,6 +638,8 @@ def main(argv=None) -> int:
         for name, runner in (
             ("social_macro", run_social_macro),
             ("tpcc", run_tpcc),
+            ("tpcc_lanes", run_tpcc_lanes),
+            ("social_lanes", run_social_lanes),
             ("chaos", run_chaos),
             ("read_heavy", run_read_heavy),
         ):
@@ -508,6 +648,17 @@ def main(argv=None) -> int:
             print(
                 f"[perf]   {scenarios[name]['events_per_sec']:,.0f} events/s "
                 f"in {scenarios[name]['wall_clock_s']:.2f}s",
+                flush=True,
+            )
+        print("[perf] running lanes ablation ...", flush=True)
+        scenarios["lanes_ablation"] = run_lanes_ablation(args.quick)
+        for lanes in LANE_COUNTS:
+            entry = scenarios["lanes_ablation"][f"lanes{lanes}"]
+            ratio = entry.get("speedup_vs_serial")
+            suffix = f" ({ratio:.2f}x vs serial)" if ratio else ""
+            print(
+                f"[perf]   lanes={lanes}: "
+                f"{entry['commands_completed']} commands{suffix}",
                 flush=True,
             )
 
@@ -585,6 +736,35 @@ def main(argv=None) -> int:
     ):
         print("[perf] baseline digest mismatch (strict)", file=sys.stderr)
         return 1
+    if args.check_lanes:
+        ablation = scenarios.get("lanes_ablation") or run_lanes_ablation(
+            args.quick
+        )
+        scenarios.setdefault("lanes_ablation", ablation)
+        ratio = (ablation.get("lanes4") or {}).get("speedup_vs_serial")
+        if ratio is None or ratio < 1.5:
+            print(
+                f"[perf] LANES GATE FAILED: 4-lane speedup "
+                f"{ratio if ratio is not None else 'n/a'} < 1.5x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"[perf] lanes gate ok: {ratio:.2f}x >= 1.5x", flush=True)
+    if args.check_tpcc_regression:
+        row = comparison.get("tpcc")
+        if row is not None and row["improvement"] < -0.25:
+            print(
+                f"[perf] TPCC REGRESSION: {row['improvement']:+.1%} "
+                f"events/s vs baseline",
+                file=sys.stderr,
+            )
+            return 1
+        if row is not None:
+            print(
+                f"[perf] tpcc regression gate ok: "
+                f"{row['improvement']:+.1%} vs baseline",
+                flush=True,
+            )
     return 0
 
 

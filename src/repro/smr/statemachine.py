@@ -42,6 +42,78 @@ class NodeWildcard:
     node: Hashable
 
 
+@dataclass(frozen=True)
+class CommandFootprint:
+    """Pre-computed read/write sets of one command, at both granularities.
+
+    Concrete variable ids are compared exactly; :class:`NodeWildcard`
+    entries are compared at graph-node granularity, against the *other*
+    footprint's full node set — a wildcard may touch any variable of its
+    node, so any command touching that node conflicts with it (unless
+    both sides only read).
+    """
+
+    read_vars: frozenset
+    write_vars: frozenset
+    read_nodes: frozenset  # nodes of read entries (wildcard or concrete)
+    write_nodes: frozenset  # nodes of write entries (wildcard or concrete)
+    read_wildcards: frozenset  # nodes with a read NodeWildcard
+    write_wildcards: frozenset  # nodes with a write NodeWildcard
+
+
+def footprint_of(app: "AppStateMachine", command: Command) -> CommandFootprint:
+    """Compute ``command``'s conflict footprint under ``app``'s signature."""
+    read_vars, write_vars = set(), set()
+    read_nodes, write_nodes = set(), set()
+    read_wild, write_wild = set(), set()
+    reads = frozenset(app.read_variables_of(command))
+    exempt = frozenset(app.conflict_free_variables_of(command))
+    for entry in app.variables_of(command):
+        if entry in exempt:
+            continue
+        is_read = entry in reads
+        if isinstance(entry, NodeWildcard):
+            (read_wild if is_read else write_wild).add(entry.node)
+            (read_nodes if is_read else write_nodes).add(entry.node)
+        else:
+            (read_vars if is_read else write_vars).add(entry)
+            node = app.graph_node_of(entry)
+            (read_nodes if is_read else write_nodes).add(node)
+    return CommandFootprint(
+        read_vars=frozenset(read_vars),
+        write_vars=frozenset(write_vars),
+        read_nodes=frozenset(read_nodes),
+        write_nodes=frozenset(write_nodes),
+        read_wildcards=frozenset(read_wild),
+        write_wildcards=frozenset(write_wild),
+    )
+
+
+def footprints_conflict(a: CommandFootprint, b: CommandFootprint) -> bool:
+    """True iff the two commands must keep their log order.
+
+    Write/write or write/read overlap on concrete variables conflicts;
+    wildcard entries conflict at node granularity against everything the
+    other command touches in that node.  Read/read overlap never
+    conflicts.
+    """
+    if a.write_vars & (b.read_vars | b.write_vars):
+        return True
+    if b.write_vars & a.read_vars:
+        return True
+    # Wildcard writes clash with any touch of the node; wildcard reads
+    # clash only with the other side's writes to the node.
+    if a.write_wildcards & (b.read_nodes | b.write_nodes):
+        return True
+    if b.write_wildcards & (a.read_nodes | a.write_nodes):
+        return True
+    if a.read_wildcards & b.write_nodes:
+        return True
+    if b.read_wildcards & a.write_nodes:
+        return True
+    return False
+
+
 class VariableStore:
     """The variables a partition currently holds.
 
@@ -150,6 +222,43 @@ class AppStateMachine:
         """
         raise NotImplementedError
 
+    def read_variables_of(self, command: Command) -> frozenset:
+        """The subset of ``variables_of`` the command only *reads*.
+
+        Entries may be concrete variable ids or :class:`NodeWildcard`
+        markers, and must be a subset of ``variables_of(command)``.
+        Two commands whose footprints only overlap on read entries
+        commute, which the parallel intra-partition scheduler exploits
+        (P-SMR-style).  The safe default is the empty set — everything
+        is treated as a write, so applications that do not declare read
+        sets keep strictly serial conflict semantics.
+        """
+        return frozenset()
+
+    def write_variables_of(self, command: Command) -> frozenset:
+        """``variables_of`` minus the declared read-only entries.
+
+        An entry that a command both reads and writes must stay out of
+        ``read_variables_of`` (writes win — conservative).
+        """
+        return frozenset(self.variables_of(command)) - frozenset(
+            self.read_variables_of(command)
+        )
+
+    def conflict_free_variables_of(self, command: Command) -> frozenset:
+        """Entries of ``variables_of`` to exclude from the conflict
+        footprint entirely (P-SMR-style declared conflict relations).
+
+        Use for semantic commutativity the variable-level predicate is
+        too coarse for: the command reads only fields of these variables
+        that no other command's writes observably change — e.g. TPC-C's
+        New-Order reads the warehouse row only for its immutable tax
+        rate, while Payment's writes to the same row touch only the ytd
+        counter New-Order never looks at.  Routing and borrowing still
+        use the full ``variables_of``.  Default: none (every declared
+        variable participates in conflict detection)."""
+        return frozenset()
+
     def graph_node_of(self, var: Hashable) -> Hashable:
         """Workload-graph node a variable belongs to (defaults to itself)."""
         return var
@@ -226,10 +335,14 @@ class KeyValueApp(AppStateMachine):
 
     Operations:
 
-    * ``("read", key)`` -> value
+    * ``("read", key)`` -> value, or ``None`` when the key is missing
+      (e.g. a read racing a ``delete`` of the same key)
     * ``("write", key, value)`` -> old value
-    * ``("sum", key1, ..., keyN)`` -> sum of the values
-    * ``("transfer", src, dst, amount)`` -> (new_src, new_dst)
+    * ``("sum", key1, ..., keyN)`` -> sum of the values; missing keys
+      count as 0
+    * ``("transfer", src, dst, amount)`` -> (new_src, new_dst); raises
+      ``KeyError`` (-> NOK reply) before mutating anything if either
+      endpoint is missing
     """
 
     def __init__(self, initial: Optional[dict] = None):
@@ -256,19 +369,33 @@ class KeyValueApp(AppStateMachine):
     def is_readonly(self, command: Command) -> bool:
         return command.op in ("read", "sum")
 
+    def read_variables_of(self, command: Command) -> frozenset:
+        if command.op in ("read", "sum"):
+            return self.variables_of(command)
+        return frozenset()
+
     def execute(self, command: Command, store: VariableStore) -> Any:
         op = command.op
         if op == "read":
-            return store.get(command.args[0])
+            # Deterministic miss value: a read racing a delete of the
+            # same key is an application-level miss, not a replica crash.
+            return store.get_or_none(command.args[0])
         if op == "write":
             key, value = command.args
             old = store.get_or_none(key)
             store.put(key, value)
             return old
         if op == "sum":
-            return sum(store.get(k) for k in command.args)
+            return sum(store.get_or_none(k) or 0 for k in command.args)
         if op == "transfer":
             src, dst, amount = command.args
+            # Validate both endpoints before the first mutation so a
+            # missing key yields a clean NOK instead of a half-applied
+            # transfer.
+            if src not in store:
+                raise KeyError(src)
+            if dst not in store:
+                raise KeyError(dst)
             store.put(src, store.get(src) - amount)
             store.put(dst, store.get(dst) + amount)
             return (store.get(src), store.get(dst))

@@ -80,6 +80,14 @@ class ChirperApp(AppStateMachine):
     def is_readonly(self, command: Command) -> bool:
         return command.op == "timeline"
 
+    def read_variables_of(self, command: Command) -> frozenset:
+        # Only timelines are pure reads; post mutates the author (post
+        # count) and every follower timeline, follow/unfollow mutate
+        # both profiles — all writes.
+        if command.op == "timeline":
+            return self.variables_of(command)
+        return frozenset()
+
     # -- execution -----------------------------------------------------------
 
     def execute(self, command: Command, store: VariableStore):
@@ -87,7 +95,11 @@ class ChirperApp(AppStateMachine):
         if op == "post":
             return self._post(command, store)
         if op == "timeline":
-            profile = store.get(user_var(command.args[0]))
+            # Deterministic miss: a timeline read racing the user's
+            # delete returns None instead of crashing the replica.
+            profile = store.get_or_none(user_var(command.args[0]))
+            if profile is None:
+                return None
             return list(reversed(profile["timeline"]))
         if op == "follow":
             return self._follow(command, store, add=True)
@@ -105,6 +117,10 @@ class ChirperApp(AppStateMachine):
         user, text, followers = command.args
         if len(text) > POST_LIMIT:
             raise ValueError(f"post exceeds {POST_LIMIT} characters")
+        if user_var(user) not in store:
+            # Author deleted since the command was issued: a clean NOK
+            # before any follower timeline is touched.
+            raise KeyError(user_var(user))
         author = store.get(user_var(user))
         author["posts"] += 1
         store.put(user_var(user), author)
@@ -125,6 +141,12 @@ class ChirperApp(AppStateMachine):
     def _follow(self, command: Command, store: VariableStore, add: bool):
         follower, followee = command.args
         fv, ev = user_var(follower), user_var(followee)
+        # Validate both profiles before mutating either (no half-applied
+        # follow edge when one side was deleted).
+        if fv not in store:
+            raise KeyError(fv)
+        if ev not in store:
+            raise KeyError(ev)
         follower_profile = store.get(fv)
         followee_profile = store.get(ev)
         if add:

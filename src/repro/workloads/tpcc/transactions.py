@@ -159,6 +159,31 @@ class TPCCApp(AppStateMachine):
     def is_readonly(self, command: Command) -> bool:
         return command.op in ("order_status", "stock_level")
 
+    def read_variables_of(self, command: Command) -> frozenset:
+        op = command.op
+        if op in ("order_status", "stock_level"):
+            return self.variables_of(command)
+        if op == "new_order":
+            # The warehouse row is only read (tax rate); district,
+            # customer and stock rows are all mutated.  Undeclared
+            # inserts (order / order-line / new-order rows) stay under
+            # the district node, which the written district row already
+            # places in the write footprint.
+            w, _d, _c, _lines = command.args
+            return frozenset({warehouse_key(w)})
+        return frozenset()
+
+    def conflict_free_variables_of(self, command: Command) -> frozenset:
+        if command.op == "new_order":
+            # New-Order reads the warehouse row only for its tax rate,
+            # which no transaction ever changes; Payment's writes to the
+            # row touch only the ytd counter New-Order never observes.
+            # Excluding it keeps the district-parallel New-Order stream
+            # from serializing behind every same-warehouse Payment.
+            w, _d, _c, _lines = command.args
+            return frozenset({warehouse_key(w)})
+        return frozenset()
+
     # -- execution ----------------------------------------------------------------
 
     def execute(self, command: Command, store: VariableStore):
@@ -183,6 +208,15 @@ class TPCCApp(AppStateMachine):
         for item_id, _sw, _qty in lines:
             if not item_exists(item_id, self.config):
                 raise ValueError("TPCC_ABORT_INVALID_ITEM")
+        # Validate every row the transaction touches before the first
+        # mutation: a missing stock row discovered mid-loop must not
+        # leave a half-applied order behind.
+        for key in (warehouse_key(w), district_key(w, d), customer_key(w, d, c)):
+            if key not in store:
+                raise KeyError(key)
+        for item_id, supply_w, _qty in lines:
+            if stock_key(supply_w, item_id) not in store:
+                raise KeyError(stock_key(supply_w, item_id))
 
         warehouse = store.get(warehouse_key(w))
         district = store.get(district_key(w, d))
@@ -240,6 +274,15 @@ class TPCCApp(AppStateMachine):
 
     def _payment(self, command: Command, store: VariableStore):
         w, d, c_w, c_d, c, amount = command.args
+        # Validate all three rows before mutating any — the customer may
+        # live on a borrowed remote district that failed to ship it.
+        for key in (
+            warehouse_key(w),
+            district_key(w, d),
+            customer_key(c_w, c_d, c),
+        ):
+            if key not in store:
+                raise KeyError(key)
         warehouse = store.get(warehouse_key(w))
         warehouse["ytd"] += amount
         store.put(warehouse_key(w), warehouse)
@@ -263,7 +306,9 @@ class TPCCApp(AppStateMachine):
 
     def _order_status(self, command: Command, store: VariableStore):
         w, d, c = command.args
-        customer = store.get(customer_key(w, d, c))
+        customer = store.get_or_none(customer_key(w, d, c))
+        if customer is None:
+            return None  # deterministic miss (customer row unavailable)
         o_id = customer["last_o_id"]
         if o_id == 0 or order_key(w, d, o_id) not in store:
             return {"balance": round(customer["balance"], 2), "order": None}
@@ -285,22 +330,33 @@ class TPCCApp(AppStateMachine):
         w, carrier = command.args
         delivered = []
         for d in range(1, self.config.districts_per_warehouse + 1):
-            district = store.get(district_key(w, d))
-            if not district["undelivered"]:
+            district = store.get_or_none(district_key(w, d))
+            if district is None or not district["undelivered"]:
                 continue
-            o_id = district["undelivered"].pop(0)
+            # Validate the order and customer rows before popping the
+            # undelivered entry: a missing row must leave the district
+            # untouched (retried deliveries find it again) instead of
+            # crashing mid-mutation with the order half-delivered.
+            o_id = district["undelivered"][0]
+            order = store.get_or_none(order_key(w, d, o_id))
+            if order is None:
+                continue
+            customer = store.get_or_none(customer_key(w, d, order["c_id"]))
+            if customer is None:
+                continue
+            district["undelivered"].pop(0)
             store.put(district_key(w, d), district)
             store.discard(new_order_key(w, d, o_id))
-            order = store.get(order_key(w, d, o_id))
             order["carrier_id"] = carrier
             store.put(order_key(w, d, o_id), order)
             total = 0.0
             for n in range(1, order["ol_cnt"] + 1):
-                line = store.get(order_line_key(w, d, o_id, n))
+                line = store.get_or_none(order_line_key(w, d, o_id, n))
+                if line is None:
+                    continue
                 line["delivery_d"] = carrier  # stands in for a timestamp
                 store.put(order_line_key(w, d, o_id, n), line)
                 total += line["amount"]
-            customer = store.get(customer_key(w, d, order["c_id"]))
             customer["balance"] += total
             customer["delivery_cnt"] += 1
             store.put(customer_key(w, d, order["c_id"]), customer)
@@ -311,7 +367,9 @@ class TPCCApp(AppStateMachine):
 
     def _stock_level(self, command: Command, store: VariableStore):
         w, d, threshold = command.args
-        district = store.get(district_key(w, d))
+        district = store.get_or_none(district_key(w, d))
+        if district is None:
+            return None  # deterministic miss (district row unavailable)
         last = district["next_o_id"]
         low_items = set()
         for o_id in range(max(1, last - 20), last):

@@ -21,6 +21,8 @@ def build_system(
     oracle_dispatch=False,
     hint_period=0.5,
     placement="random",
+    execution_lanes=1,
+    service_time=0.0,
 ):
     app = kv_app(n_keys)
     config = SystemConfig(
@@ -33,6 +35,8 @@ def build_system(
         mode=mode,
         oracle_dispatch=oracle_dispatch,
         placement=placement,
+        execution_lanes=execution_lanes,
+        service_time=service_time,
     )
     return DynaStarSystem(app, config)
 

@@ -1,0 +1,230 @@
+"""The dependency-aware parallel executor (``execution_lanes > 1``).
+
+Three guarantees under test:
+
+1. ``execution_lanes=1`` is *byte-identical* to the pre-lanes executor —
+   same events, messages, stores, results for the same seed;
+2. with lanes enabled, an independent command bypasses a head-of-line
+   command stalled on in-transit borrowed variables, while conflicting
+   commands retain log order (histories stay linearizable, replicas
+   agree);
+3. ownership-changing payloads (repartition plans et al.) act as
+   barriers, so relocation under lanes stays deterministic and correct.
+"""
+
+import pytest
+
+from repro.core import SystemConfig
+from repro.core.client import ScriptedWorkload
+from repro.smr import Command, History, check_linearizable
+
+from tests.core.conftest import assert_replicas_agree, build_system, kv_app
+
+
+def mixed_scripts(n_clients=3, n_cmds=10, n_keys=8):
+    scripts = []
+    for c in range(n_clients):
+        cmds = []
+        for i in range(n_cmds):
+            k = (c * 3 + i) % n_keys
+            if i % 3 == 0:
+                cmds.append(Command(f"c{c}:{i}", "write", (f"k{k}", c * 100 + i)))
+            elif i % 3 == 1:
+                cmds.append(Command(f"c{c}:{i}", "read", (f"k{k}",)))
+            else:
+                cmds.append(
+                    Command(
+                        f"c{c}:{i}",
+                        "transfer",
+                        (f"k{k}", f"k{(k + 1) % n_keys}", 1),
+                    )
+                )
+        scripts.append(cmds)
+    return scripts
+
+
+def fingerprint(system, scripts, until=60.0):
+    clients = [system.add_client(ScriptedWorkload(cmds)) for cmds in scripts]
+    system.run(until=until)
+    return {
+        "results": [dict(c.results) for c in clients],
+        "completed": [c.completed for c in clients],
+        "events": system.sim.events_processed,
+        "messages": system.net.messages_sent,
+        "stores": {
+            p: tuple(sorted(system.servers(p)[0].store.items()))
+            for p in system.partition_names
+        },
+    }
+
+
+class TestConfig:
+    def test_zero_lanes_rejected(self):
+        from repro.core import DynaStarSystem
+
+        with pytest.raises(ValueError):
+            DynaStarSystem(
+                kv_app(), SystemConfig(n_partitions=2, execution_lanes=0)
+            )
+
+
+class TestSerialEquivalence:
+    def test_lanes1_is_byte_identical_to_default(self):
+        """``execution_lanes=1`` must take the legacy code path exactly:
+        the knob's mere presence cannot perturb a serial run."""
+        scripts = mixed_scripts()
+        base = fingerprint(
+            build_system(n_keys=8, n_partitions=2, seed=9, service_time=0.001),
+            scripts,
+        )
+        explicit = fingerprint(
+            build_system(
+                n_keys=8,
+                n_partitions=2,
+                seed=9,
+                service_time=0.001,
+                execution_lanes=1,
+            ),
+            scripts,
+        )
+        assert base == explicit
+
+    def test_lanes_run_is_deterministic(self):
+        scripts = mixed_scripts()
+
+        def run():
+            return fingerprint(
+                build_system(
+                    n_keys=8,
+                    n_partitions=2,
+                    seed=9,
+                    service_time=0.001,
+                    execution_lanes=4,
+                ),
+                scripts,
+            )
+
+        assert run() == run()
+
+
+class TestParallelExecution:
+    def test_lanes_linearizable_with_service_time(self):
+        system = build_system(
+            n_keys=8,
+            n_partitions=2,
+            seed=7,
+            service_time=0.002,
+            execution_lanes=4,
+        )
+        history = History()
+        scripts = mixed_scripts()
+        clients = [
+            system.add_client(ScriptedWorkload(cmds), history=history)
+            for cmds in scripts
+        ]
+        system.run(until=60.0)
+        for client, cmds in zip(clients, scripts):
+            assert client.completed + client.failed == len(cmds)
+        assert check_linearizable(history, system.app)
+        assert_replicas_agree(system)
+
+    @staticmethod
+    def _bypass_counts(execution_lanes):
+        """One cross-partition transfer (stalls on the borrowed k2) racing
+        a stream of independent writes to k1; returns how many writes
+        returned before the transfer did."""
+        system = build_system(
+            n_keys=3,
+            n_partitions=2,
+            seed=5,
+            placement={"k0": 0, "k1": 0, "k2": 1},
+            execution_lanes=execution_lanes,
+        )
+        history = History()
+        transfer = Command("t:0", "transfer", ("k0", "k2", 1))
+        writes = [Command(f"w:{i}", "write", ("k1", i)) for i in range(12)]
+        a = system.add_client(ScriptedWorkload([transfer]), history=history)
+        b = system.add_client(ScriptedWorkload(writes), history=history)
+        system.run(until=30.0)
+        assert a.completed == 1 and b.completed == len(writes)
+        assert check_linearizable(history, system.app)
+        assert_replicas_agree(system)
+        ops = {op.command.uid: op for op in history.operations}
+        transfer_returned = ops["t:0"].returned_at
+        return sum(
+            1
+            for w in writes
+            if ops[w.uid].returned_at < transfer_returned
+        )
+
+    def test_independent_writes_bypass_stalled_transfer(self):
+        serial = self._bypass_counts(execution_lanes=1)
+        lanes = self._bypass_counts(execution_lanes=4)
+        assert lanes > serial, (
+            f"expected lanes to let independent writes pass the stalled "
+            f"transfer (serial={serial}, lanes={lanes})"
+        )
+
+    def test_conflicting_writes_keep_log_order(self):
+        """Two clients hammer the same key: every interleaving the lane
+        scheduler picks must still be linearizable and replica-identical."""
+        system = build_system(
+            n_keys=2,
+            n_partitions=1,
+            seed=3,
+            service_time=0.002,
+            execution_lanes=4,
+        )
+        history = History()
+        scripts = [
+            [Command(f"c{c}:{i}", "write", ("k0", c * 100 + i)) for i in range(8)]
+            for c in range(2)
+        ]
+        clients = [
+            system.add_client(ScriptedWorkload(cmds), history=history)
+            for cmds in scripts
+        ]
+        system.run(until=30.0)
+        assert all(c.completed == 8 for c in clients)
+        assert check_linearizable(history, system.app)
+        assert_replicas_agree(system)
+
+
+class TestRelocationBarrier:
+    def test_repartition_under_lanes_deterministic_and_consistent(self):
+        """PartitionPlan payloads are barriers: relocation in the middle
+        of parallel execution keeps runs deterministic and replicas in
+        agreement."""
+
+        def run():
+            system = build_system(
+                n_keys=16,
+                n_partitions=3,
+                seed=7,
+                repartition=True,
+                threshold=150,
+                service_time=0.001,
+                execution_lanes=4,
+            )
+            cmds = [
+                Command(
+                    f"c:{i}",
+                    "transfer",
+                    (f"k{2 * (i % 8)}", f"k{2 * (i % 8) + 1}", 1),
+                )
+                for i in range(120)
+            ]
+            client = system.add_client(ScriptedWorkload(cmds))
+            system.run(until=90.0)
+            assert client.completed + client.failed == 120
+            assert_replicas_agree(system)
+            return {
+                "results": dict(client.results),
+                "events": system.sim.events_processed,
+                "stores": {
+                    p: tuple(sorted(system.servers(p)[0].store.items()))
+                    for p in system.partition_names
+                },
+            }
+
+        assert run() == run()

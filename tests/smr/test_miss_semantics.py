@@ -1,0 +1,67 @@
+"""Regression tests for execution-path crash bugs: a missing key is an
+application-level miss (deterministic value or clean NOK), never an
+unhandled exception escaping ``execute`` mid-mutation.
+
+The original bug: ``KeyValueApp.execute`` raised a bare ``KeyError``
+when a ``read``/``sum`` raced a ``delete`` of the same key — under
+relocation that could crash the replica's delivery loop.
+"""
+
+import pytest
+
+from repro.smr import Command, KeyValueApp
+from repro.smr.statemachine import VariableStore
+
+
+def make_store(app):
+    store = VariableStore()
+    for var, value in app.initial_variables().items():
+        store.put(var, value)
+    return store
+
+
+@pytest.fixture
+def app():
+    return KeyValueApp({"a": 5, "b": 7})
+
+
+@pytest.fixture
+def store(app):
+    return make_store(app)
+
+
+class TestReadMiss:
+    def test_read_missing_key_returns_none(self, app, store):
+        assert app.execute(Command("u1", "read", ("ghost",)), store) is None
+
+    def test_read_after_delete_returns_none(self, app, store):
+        app.execute(Command("u1", "delete", ("a",)), store)
+        assert app.execute(Command("u2", "read", ("a",)), store) is None
+
+    def test_read_present_key_unchanged(self, app, store):
+        assert app.execute(Command("u1", "read", ("a",)), store) == 5
+
+
+class TestSumMiss:
+    def test_sum_counts_missing_keys_as_zero(self, app, store):
+        result = app.execute(Command("u1", "sum", ("a", "ghost", "b")), store)
+        assert result == 12
+
+    def test_sum_of_only_missing_keys_is_zero(self, app, store):
+        assert app.execute(Command("u1", "sum", ("x", "y")), store) == 0
+
+
+class TestTransferMiss:
+    def test_missing_src_raises_before_mutation(self, app, store):
+        with pytest.raises(KeyError):
+            app.execute(Command("u1", "transfer", ("ghost", "b", 3)), store)
+        assert store.get("b") == 7  # dst untouched
+
+    def test_missing_dst_raises_before_mutation(self, app, store):
+        with pytest.raises(KeyError):
+            app.execute(Command("u1", "transfer", ("a", "ghost", 3)), store)
+        assert store.get("a") == 5  # src untouched
+
+    def test_valid_transfer_still_works(self, app, store):
+        result = app.execute(Command("u1", "transfer", ("a", "b", 3)), store)
+        assert result == (2, 10)
